@@ -1,0 +1,29 @@
+//! The paper's two peer tools, reimplemented for the Table 7 comparison.
+//!
+//! * [`Sspam`] — SSPAM (Eyrolles et al., SPRO'16): pattern-matching
+//!   simplification against a library of known MBA identities, plus
+//!   light arithmetic cleanup. Sound by construction, but only fires
+//!   when the obfuscated tree literally contains a library shape — which
+//!   is why the paper measures just 3% solver coverage after it.
+//! * [`Syntia`] — Syntia (Blazytko et al., USENIX Sec'17): stochastic
+//!   program synthesis via Monte-Carlo tree search over an expression
+//!   grammar, guided by input/output samples of the obfuscated code.
+//!   Fast and representation-agnostic, but correct only when the sampled
+//!   points pin the semantics down — the paper measures 82.9% wrong
+//!   outputs on complex MBA.
+//!
+//! ```
+//! use mba_baselines::Sspam;
+//! let sspam = Sspam::new();
+//! let e = "(x | y) + (x & y)".parse().unwrap();
+//! assert_eq!(sspam.simplify(&e).to_string(), "x+y");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sspam;
+mod syntia;
+
+pub use sspam::Sspam;
+pub use syntia::{Syntia, SyntiaConfig, SyntiaResult};

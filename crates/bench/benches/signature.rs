@@ -1,0 +1,81 @@
+//! Criterion bench: the signature-vector kernels (truth tables, Möbius
+//! inversion, normalized reconstruction) at 2–4 variables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mba_expr::{Expr, Ident};
+use mba_sig::{SignatureVector, TruthTable};
+
+fn vars(n: usize) -> Vec<Ident> {
+    ["x", "y", "z", "w"][..n].iter().map(Ident::new).collect()
+}
+
+fn linear_input(n: usize) -> Expr {
+    match n {
+        2 => "2*(x|y) - (~x&y) - (x&~y) + 3*(x^y) - 7".parse(),
+        3 => "2*(x|y) - (~x&z) - (x&~y) + 3*(y^z) - 7*(x&y&z) + 5".parse(),
+        _ => "(x|y) - (~w&z) + 3*(y^z) - 7*(x&y&w) + 2*(w|~x) - 9".parse(),
+    }
+    .expect("parses")
+}
+
+fn bench_truth_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/truth-table");
+    for n in [2usize, 3, 4] {
+        let vs = vars(n);
+        let e: Expr = match n {
+            2 => "~(x ^ ~y)".parse(),
+            3 => "~(x ^ ~y) & (y | z)".parse(),
+            _ => "~(x ^ ~y) & (y | z) ^ (w & x)".parse(),
+        }
+        .expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(e, vs), |b, (e, vs)| {
+            b.iter(|| TruthTable::of(e, vs).expect("bitwise"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/of-linear");
+    for n in [2usize, 3, 4] {
+        let vs = vars(n);
+        let e = linear_input(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(e, vs), |b, (e, vs)| {
+            b.iter(|| SignatureVector::of_linear(e, vs).expect("linear"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/normalize");
+    for n in [2usize, 3, 4] {
+        let vs = vars(n);
+        let sig = SignatureVector::of_linear(&linear_input(n), &vs).expect("linear");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(sig, vs),
+            |b, (sig, vs)| {
+                b.iter(|| sig.to_normalized_expr(vs));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_moebius(c: &mut Criterion) {
+    let vs = vars(4);
+    let sig = SignatureVector::of_linear(&linear_input(4), &vs).expect("linear");
+    c.bench_function("signature/moebius-4var", |b| {
+        b.iter(|| sig.normalized_coefficients());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_truth_tables,
+    bench_signatures,
+    bench_normalization,
+    bench_moebius
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion bench: MBA-Solver simplification latency per MBA category
+//! and per alternation level (the statistically rigorous version of
+//! Table 8's time column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mba_expr::{metrics::alternation, Expr};
+use mba_gen::obfuscate::{ObfuscationKind, Obfuscator, ObfuscatorConfig};
+use mba_solver::{Simplifier, SimplifyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixed_cases() -> Vec<(&'static str, Expr)> {
+    vec![
+        (
+            "linear/paper-example",
+            "2*(x|y) - (~x&y) - (x&~y)".parse().expect("parses"),
+        ),
+        (
+            "poly/figure-1",
+            "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().expect("parses"),
+        ),
+        (
+            "nonpoly/section-4.5",
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)"
+                .parse()
+                .expect("parses"),
+        ),
+    ]
+}
+
+fn bench_categories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplify/category");
+    for (name, expr) in fixed_cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, e| {
+            // Fresh simplifier per iteration batch so the lookup table
+            // does not trivialize the measurement.
+            b.iter_batched(
+                Simplifier::new,
+                |s| s.simplify(e),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_alternation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplify/alternation");
+    let mut rng = StdRng::seed_from_u64(7);
+    for target in [10usize, 20, 30, 40] {
+        let obfuscator = Obfuscator::with_config(ObfuscatorConfig {
+            linear_extra_terms: target,
+            rewrite_rounds: target / 8,
+            ..ObfuscatorConfig::default()
+        });
+        let kind = if target <= 12 {
+            ObfuscationKind::Linear
+        } else {
+            ObfuscationKind::NonPolynomial
+        };
+        let truth: Expr = "x + y".parse().expect("parses");
+        // Draw until the measured alternation is close to the target.
+        let expr = (0..500)
+            .map(|_| obfuscator.obfuscate(&truth, kind, &mut rng))
+            .find(|e| alternation(e).abs_diff(target) <= target / 8 + 2);
+        let Some(expr) = expr else { continue };
+        group.bench_with_input(BenchmarkId::from_parameter(target), &expr, |b, e| {
+            b.iter_batched(
+                Simplifier::new,
+                |s| s.simplify(e),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    // With a shared (warm) lookup table, repeat simplification is
+    // nearly free — the §4.5 claim.
+    let expr: Expr = "2*(x|y) - (~x&y) - (x&~y)".parse().expect("parses");
+    let warm = Simplifier::new();
+    warm.simplify(&expr);
+    c.bench_function("simplify/warm-lookup-table", |b| {
+        b.iter(|| warm.simplify(&expr));
+    });
+    let cold_config = SimplifyConfig {
+        use_cache: false,
+        ..SimplifyConfig::default()
+    };
+    let cold = Simplifier::with_config(cold_config);
+    c.bench_function("simplify/no-lookup-table", |b| {
+        b.iter(|| cold.simplify(&expr));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_categories,
+    bench_alternation_sweep,
+    bench_warm_cache
+);
+criterion_main!(benches);

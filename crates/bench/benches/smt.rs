@@ -1,0 +1,89 @@
+//! Criterion bench: the SMT substrate on fixed equivalence queries —
+//! rewriting-closed queries, small miters, and the three profiles on
+//! identical MBA identities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mba_expr::Expr;
+use mba_smt::{CheckOutcome, SmtSolver, SolverProfile};
+
+fn bench_rewrite_closed(c: &mut Criterion) {
+    let solver = SmtSolver::new(SolverProfile::boolector_style());
+    let lhs: Expr = "x + (x&y) - (x&y) + 0".parse().expect("parses");
+    let rhs: Expr = "x".parse().expect("parses");
+    c.bench_function("smt/rewriting-closes", |b| {
+        b.iter(|| {
+            let r = solver.check_equivalence(&lhs, &rhs, 8, None);
+            assert_eq!(r.outcome, CheckOutcome::Equivalent);
+            r
+        });
+    });
+}
+
+fn bench_identity_miters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt/identity-miter-8bit");
+    let cases = [
+        ("or-plus-and", "x + y", "(x | y) + (x & y)"),
+        ("xor-encoding", "x ^ y", "(x | y) - (x & y)"),
+        ("sub-encoding", "x - y", "(x ^ y) - 2*(~x & y)"),
+    ];
+    for (name, lhs, rhs) in cases {
+        let lhs: Expr = lhs.parse().expect("parses");
+        let rhs: Expr = rhs.parse().expect("parses");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(lhs, rhs),
+            |b, (lhs, rhs)| {
+                let solver = SmtSolver::new(SolverProfile::boolector_style());
+                b.iter(|| solver.check_equivalence(lhs, rhs, 8, None));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiles_on_figure1(c: &mut Criterion) {
+    // The paper's Figure 1 identity at 4 bits: solvable but non-trivial,
+    // a fair profile shoot-out.
+    let lhs: Expr = "x*y".parse().expect("parses");
+    let rhs: Expr = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().expect("parses");
+    let mut group = c.benchmark_group("smt/figure1-4bit");
+    group.sample_size(20);
+    for profile in SolverProfile::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &profile,
+            |b, profile| {
+                let solver = SmtSolver::new(profile.clone());
+                b.iter(|| {
+                    let r = solver.check_equivalence(&lhs, &rhs, 4, None);
+                    assert_eq!(r.outcome, CheckOutcome::Equivalent);
+                    r
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counterexample_search(c: &mut Criterion) {
+    // SAT direction: find a witness that two expressions differ.
+    let lhs: Expr = "x*y + 1".parse().expect("parses");
+    let rhs: Expr = "x*y".parse().expect("parses");
+    let solver = SmtSolver::new(SolverProfile::z3_style());
+    c.bench_function("smt/counterexample-8bit", |b| {
+        b.iter(|| {
+            let r = solver.check_equivalence(&lhs, &rhs, 8, None);
+            assert!(matches!(r.outcome, CheckOutcome::NotEquivalent(_)));
+            r
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rewrite_closed,
+    bench_identity_miters,
+    bench_profiles_on_figure1,
+    bench_counterexample_search
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Ablation (quality)**: how much each MBA-Solver design choice
+//! contributes — lookup table, final-step optimization, ∧- vs ∨-basis,
+//! and round count — measured as output alternation, output length,
+//! simplification time, and the share of outputs the boolector-style
+//! profile can then solve instantly.
+//!
+//! Complements the Criterion `ablation` bench (which measures time
+//! only) with the quality dimension DESIGN.md calls out.
+
+use std::time::{Duration, Instant};
+
+use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig, Verdict};
+use mba_expr::metrics::alternation;
+use mba_gen::{Corpus, CorpusConfig};
+use mba_smt::SolverProfile;
+use mba_solver::{Basis, Simplifier, SimplifyConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Ablation: contribution of MBA-Solver design choices");
+    println!("({})\n", config.banner());
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: config.seed,
+        per_category: config.per_category.min(200),
+    });
+
+    let variants: Vec<(&str, SimplifyConfig)> = vec![
+        ("full (default)", SimplifyConfig::default()),
+        (
+            "no final-step opt",
+            SimplifyConfig { final_step: false, ..SimplifyConfig::default() },
+        ),
+        (
+            "no lookup table",
+            SimplifyConfig { use_cache: false, ..SimplifyConfig::default() },
+        ),
+        (
+            "or-basis",
+            SimplifyConfig { basis: Basis::Or, ..SimplifyConfig::default() },
+        ),
+        (
+            "adaptive-basis",
+            SimplifyConfig { basis: Basis::Adaptive, ..SimplifyConfig::default() },
+        ),
+        (
+            "single round",
+            SimplifyConfig { max_rounds: 1, ..SimplifyConfig::default() },
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>14}",
+        "variant", "avg alt", "avg length", "time (ms)", "solved fast %"
+    );
+
+    for (name, cfg) in variants {
+        let simplifier = Simplifier::with_config(cfg);
+        let start = Instant::now();
+        let outputs: Vec<_> = corpus
+            .samples()
+            .iter()
+            .map(|s| simplifier.simplify(&s.obfuscated))
+            .collect();
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0 / corpus.len() as f64;
+
+        let avg_alt = report::mean(outputs.iter().map(|o| alternation(o) as f64));
+        let avg_len = report::mean(outputs.iter().map(|o| o.to_string().len() as f64));
+
+        // "Solved fast": equivalence closes within a tight budget.
+        let tasks: Vec<EquivalenceTask> = corpus
+            .samples()
+            .iter()
+            .zip(&outputs)
+            .map(|(s, out)| EquivalenceTask {
+                sample_id: s.id,
+                kind: s.kind,
+                lhs: out.clone(),
+                rhs: s.ground_truth.clone(),
+            })
+            .collect();
+        let records = mba_bench::run_equivalence_checks(
+            &tasks,
+            &SolverProfile::boolector_style(),
+            config.width,
+            Duration::from_millis(100),
+            config.threads,
+        );
+        let fast = records.iter().filter(|r| r.verdict == Verdict::Solved).count();
+
+        println!(
+            "{:<20} {:>12.2} {:>12.1} {:>12.3} {:>13.1}%",
+            name,
+            avg_alt,
+            avg_len,
+            elapsed_ms,
+            100.0 * fast as f64 / corpus.len().max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! **Table 1**: complexity distribution of the MBA corpus — min / max /
+//! average of the five §3.1 metrics for each category.
+
+use mba_bench::ExperimentConfig;
+use mba_expr::Metrics;
+use mba_gen::{Corpus, CorpusConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Table 1: complexity distribution of the MBA corpus");
+    println!("({})\n", config.banner());
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: config.seed,
+        per_category: config.per_category,
+    });
+
+    let metric_names = [
+        "Num of Variables",
+        "MBA Alternation",
+        "MBA Length",
+        "Number of Terms",
+        "Coefficients",
+    ];
+
+    println!(
+        "{:<18} {:>24} {:>24} {:>24}",
+        "Metrics", "Linear MBA", "Poly MBA", "Non-poly MBA"
+    );
+    println!(
+        "{:<18} {:>8}{:>8}{:>8} {:>8}{:>8}{:>8} {:>8}{:>8}{:>8}",
+        "", "Min", "Max", "Avg", "Min", "Max", "Avg", "Min", "Max", "Avg"
+    );
+
+    for (mi, name) in metric_names.iter().enumerate() {
+        print!("{name:<18}");
+        for kind in mba_bench::report::CATEGORIES {
+            let values: Vec<f64> = corpus
+                .by_kind(kind)
+                .map(|s| metric_value(&Metrics::of(&s.obfuscated), mi))
+                .collect();
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(0.0, f64::max);
+            let avg = mba_bench::report::mean(values.iter().copied());
+            print!(" {min:>8.0}{max:>8.0}{avg:>8.1}");
+        }
+        println!();
+    }
+
+    println!(
+        "\ncorpus: {} samples ({} per category requested)",
+        corpus.len(),
+        config.per_category
+    );
+}
+
+fn metric_value(m: &Metrics, index: usize) -> f64 {
+    match index {
+        0 => m.num_vars as f64,
+        1 => m.alternation as f64,
+        2 => m.length as f64,
+        3 => m.num_terms as f64,
+        _ => m.max_coefficient as f64,
+    }
+}

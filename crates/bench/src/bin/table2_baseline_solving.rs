@@ -1,0 +1,47 @@
+//! **Table 2**: solver performance on the *original* (unsimplified)
+//! MBA identity equations — the paper's headline negative result.
+//!
+//! For each solver profile and each sample, the query is
+//! `obfuscated == ground_truth` at the configured width; solved-count,
+//! time range and mean are reported per category.
+
+use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig};
+use mba_gen::{Corpus, CorpusConfig};
+use mba_smt::SolverProfile;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Table 2: SMT solver performance on original MBA equations");
+    println!("({})\n", config.banner());
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: config.seed,
+        per_category: config.per_category,
+    });
+    let tasks: Vec<EquivalenceTask> = corpus
+        .samples()
+        .iter()
+        .map(|s| EquivalenceTask {
+            sample_id: s.id,
+            kind: s.kind,
+            lhs: s.obfuscated.clone(),
+            rhs: s.ground_truth.clone(),
+        })
+        .collect();
+
+    let profiles = SolverProfile::all();
+    let mut per_profile = Vec::new();
+    for profile in &profiles {
+        eprintln!("running {} ...", profile.name);
+        per_profile.push(mba_bench::run_equivalence_checks(
+            &tasks,
+            profile,
+            config.width,
+            config.timeout(),
+            config.threads,
+        ));
+    }
+
+    let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    print!("{}", report::solver_table(&names, &per_profile));
+}

@@ -1,0 +1,52 @@
+//! **Table 6**: solver performance *after* MBA-Solver simplification —
+//! the paper's headline positive result.
+//!
+//! Every corpus sample is first simplified by `mba-solver`; the query
+//! is then `simplified == ground_truth`.
+
+use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig};
+use mba_gen::{Corpus, CorpusConfig};
+use mba_smt::SolverProfile;
+use mba_solver::Simplifier;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Table 6: SMT solving after MBA-Solver simplification");
+    println!("({})\n", config.banner());
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: config.seed,
+        per_category: config.per_category,
+    });
+    let simplifier = Simplifier::new();
+    eprintln!("simplifying {} samples ...", corpus.len());
+    let tasks: Vec<EquivalenceTask> = corpus
+        .samples()
+        .iter()
+        .map(|s| EquivalenceTask {
+            sample_id: s.id,
+            kind: s.kind,
+            lhs: simplifier.simplify(&s.obfuscated),
+            rhs: s.ground_truth.clone(),
+        })
+        .collect();
+
+    let profiles = SolverProfile::all();
+    let mut per_profile = Vec::new();
+    for profile in &profiles {
+        eprintln!("running {} ...", profile.name);
+        per_profile.push(mba_bench::run_equivalence_checks(
+            &tasks,
+            profile,
+            config.width,
+            config.timeout(),
+            config.threads,
+        ));
+    }
+
+    let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    print!("{}", report::solver_table(&names, &per_profile));
+
+    let (hits, misses) = simplifier.cache_stats();
+    println!("\nMBA-Solver lookup table: {hits} hits, {misses} misses");
+}

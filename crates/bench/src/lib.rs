@@ -1,0 +1,25 @@
+//! Experiment harness shared by the per-table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; this library hosts the pieces they share — a
+//! dependency-free CLI parser, a parallel corpus runner, aggregate
+//! formatting, and an allocation meter for Table 8's memory column.
+//!
+//! Run e.g.
+//!
+//! ```text
+//! cargo run -p mba-bench --release --bin table2_baseline_solving -- \
+//!     --per-category 1000 --timeout-ms 3600000 --width 8
+//! ```
+//!
+//! Defaults are scaled down (100 samples/category, 1 s timeout, 8-bit
+//! words) so the whole suite completes on a laptop; the flags restore
+//! the paper's full scale.
+
+pub mod alloc_meter;
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+pub use cli::ExperimentConfig;
+pub use runner::{run_equivalence_checks, EquivalenceTask, SolveRecord, Verdict};

@@ -1,0 +1,225 @@
+//! Aggregation and table formatting for the experiment binaries.
+
+use std::time::Duration;
+
+use mba_gen::ObfuscationKind;
+
+use crate::runner::{SolveRecord, Verdict};
+
+/// Per-category aggregate in the shape of the paper's Tables 2 and 6:
+/// `N`, `[T_min, T_max]`, `T_avg` over *solved* samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryAggregate {
+    /// Samples in the category.
+    pub total: usize,
+    /// Solved within budget.
+    pub solved: usize,
+    /// Refuted (non-equivalent) — zero on identity corpora unless a
+    /// tool was unsound.
+    pub refuted: usize,
+    /// Timed out.
+    pub timeouts: usize,
+    /// Fastest solved time (seconds).
+    pub t_min: f64,
+    /// Slowest solved time (seconds).
+    pub t_max: f64,
+    /// Mean solved time (seconds).
+    pub t_avg: f64,
+}
+
+/// Aggregates records of one category.
+pub fn aggregate(records: &[SolveRecord], kind: ObfuscationKind) -> CategoryAggregate {
+    let of_kind: Vec<&SolveRecord> = records.iter().filter(|r| r.kind == kind).collect();
+    let solved: Vec<&&SolveRecord> = of_kind
+        .iter()
+        .filter(|r| r.verdict == Verdict::Solved)
+        .collect();
+    let times: Vec<f64> = solved.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    CategoryAggregate {
+        total: of_kind.len(),
+        solved: solved.len(),
+        refuted: of_kind.iter().filter(|r| r.verdict == Verdict::Refuted).count(),
+        timeouts: of_kind.iter().filter(|r| r.verdict == Verdict::Timeout).count(),
+        t_min: times.iter().copied().fold(f64::INFINITY, f64::min),
+        t_max: times.iter().copied().fold(0.0, f64::max),
+        t_avg: if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        },
+    }
+}
+
+/// Formats one aggregate as the paper's `N  [Tmin, Tmax]  Tavg` triple.
+pub fn format_aggregate(a: &CategoryAggregate) -> String {
+    if a.solved == 0 {
+        return format!("{:>5}  {:>18}  {:>8}", 0, "[-, -]", "-");
+    }
+    format!(
+        "{:>5}  [{:>7.3}, {:>7.3}]  {:>8.3}",
+        a.solved, a.t_min, a.t_max, a.t_avg
+    )
+}
+
+/// The three categories in table order.
+pub const CATEGORIES: [ObfuscationKind; 3] = [
+    ObfuscationKind::Linear,
+    ObfuscationKind::Polynomial,
+    ObfuscationKind::NonPolynomial,
+];
+
+/// Renders a full solver-performance table (the layout of Tables 2/6):
+/// one row per category, one column group per profile.
+pub fn solver_table(profile_names: &[&str], per_profile: &[Vec<SolveRecord>]) -> String {
+    assert_eq!(profile_names.len(), per_profile.len());
+    let mut out = String::new();
+    out.push_str(&format!("{:<12}", "MBA Type"));
+    for name in profile_names {
+        out.push_str(&format!("  | {:^37}", name));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<12}", ""));
+    for _ in profile_names {
+        out.push_str(&format!(
+            "  | {:>5}  {:>18}  {:>8}",
+            "N", "[Tmin, Tmax] (s)", "Tavg (s)"
+        ));
+    }
+    out.push('\n');
+    for kind in CATEGORIES {
+        out.push_str(&format!("{:<12}", kind.to_string()));
+        for records in per_profile {
+            let a = aggregate(records, kind);
+            out.push_str(&format!("  | {}", format_aggregate(&a)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<12}", "Total"));
+    for records in per_profile {
+        let solved = records.iter().filter(|r| r.verdict == Verdict::Solved).count();
+        let total = records.len().max(1);
+        out.push_str(&format!(
+            "  | {:>5} ({:>5.1}%) {:>21}",
+            solved,
+            100.0 * solved as f64 / total as f64,
+            ""
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// A plain-text histogram line: `label  count  bar`.
+pub fn histogram_line(label: &str, count: usize, max: usize, width: usize) -> String {
+    let bar_len = (count * width).checked_div(max).unwrap_or(0);
+    format!("{:<14} {:>6}  {}", label, count, "#".repeat(bar_len))
+}
+
+/// Buckets a solving time for Figure 4-style distributions.
+pub fn time_bucket(elapsed: Duration, timed_out: bool) -> &'static str {
+    if timed_out {
+        return "timeout";
+    }
+    let s = elapsed.as_secs_f64();
+    if s < 0.001 {
+        "< 1 ms"
+    } else if s < 0.01 {
+        "1-10 ms"
+    } else if s < 0.1 {
+        "10-100 ms"
+    } else if s < 1.0 {
+        "0.1-1 s"
+    } else {
+        ">= 1 s"
+    }
+}
+
+/// Mean of a sequence, 0 when empty.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: usize, kind: ObfuscationKind, verdict: Verdict, ms: u64) -> SolveRecord {
+        SolveRecord {
+            sample_id: id,
+            kind,
+            verdict,
+            elapsed: Duration::from_millis(ms),
+            solved_by_rewriting: false,
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_min_max_avg() {
+        let records = vec![
+            rec(0, ObfuscationKind::Linear, Verdict::Solved, 100),
+            rec(1, ObfuscationKind::Linear, Verdict::Solved, 300),
+            rec(2, ObfuscationKind::Linear, Verdict::Timeout, 1000),
+            rec(3, ObfuscationKind::Polynomial, Verdict::Solved, 50),
+        ];
+        let a = aggregate(&records, ObfuscationKind::Linear);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.solved, 2);
+        assert_eq!(a.timeouts, 1);
+        assert!((a.t_min - 0.1).abs() < 1e-9);
+        assert!((a.t_max - 0.3).abs() < 1e-9);
+        assert!((a.t_avg - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_category_formats_dashes() {
+        let a = aggregate(&[], ObfuscationKind::Linear);
+        assert_eq!(a.solved, 0);
+        assert!(format_aggregate(&a).contains("[-, -]"));
+    }
+
+    #[test]
+    fn solver_table_contains_all_rows() {
+        let records = vec![
+            rec(0, ObfuscationKind::Linear, Verdict::Solved, 10),
+            rec(1, ObfuscationKind::NonPolynomial, Verdict::Timeout, 500),
+        ];
+        let table = solver_table(&["z3-style"], &[records]);
+        for needle in ["linear", "poly", "non-poly", "Total", "z3-style"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(time_bucket(Duration::from_micros(10), false), "< 1 ms");
+        assert_eq!(time_bucket(Duration::from_millis(5), false), "1-10 ms");
+        assert_eq!(time_bucket(Duration::from_millis(50), false), "10-100 ms");
+        assert_eq!(time_bucket(Duration::from_millis(500), false), "0.1-1 s");
+        assert_eq!(time_bucket(Duration::from_secs(2), false), ">= 1 s");
+        assert_eq!(time_bucket(Duration::from_secs(2), true), "timeout");
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let line = histogram_line("x", 5, 10, 20);
+        assert!(line.contains(&"#".repeat(10)));
+        let empty = histogram_line("y", 0, 10, 20);
+        assert!(!empty.contains('#'));
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+}

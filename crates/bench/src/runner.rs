@@ -1,0 +1,168 @@
+//! Parallel execution of equivalence queries over a corpus.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use mba_expr::Expr;
+use mba_gen::ObfuscationKind;
+use mba_smt::{CheckOutcome, SmtSolver, SolverProfile};
+
+/// The verdict of one query, flattened for aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proven equivalent within the budget.
+    Solved,
+    /// Proven *not* equivalent — for identity corpora this flags an
+    /// unsound simplification (Table 7's "N" column).
+    Refuted,
+    /// Budget exhausted (Table 7's "O" column).
+    Timeout,
+}
+
+/// One equivalence query to run.
+#[derive(Debug, Clone)]
+pub struct EquivalenceTask {
+    /// Corpus id of the underlying sample.
+    pub sample_id: usize,
+    /// MBA category of the underlying sample.
+    pub kind: ObfuscationKind,
+    /// Left side (e.g. the obfuscated or simplified expression).
+    pub lhs: Expr,
+    /// Right side (the ground truth).
+    pub rhs: Expr,
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone)]
+pub struct SolveRecord {
+    /// Corpus id.
+    pub sample_id: usize,
+    /// MBA category.
+    pub kind: ObfuscationKind,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Wall-clock solving time.
+    pub elapsed: Duration,
+    /// Whether rewriting alone closed the query.
+    pub solved_by_rewriting: bool,
+}
+
+/// Runs every task against `profile`, using `threads` workers. Records
+/// come back sorted by `sample_id`.
+pub fn run_equivalence_checks(
+    tasks: &[EquivalenceTask],
+    profile: &SolverProfile,
+    width: u32,
+    timeout: Duration,
+    threads: usize,
+) -> Vec<SolveRecord> {
+    let next = AtomicUsize::new(0);
+    let mut records: Vec<SolveRecord> = crossbeam::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.max(1))
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let solver = SmtSolver::new(profile.clone());
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let result =
+                            solver.check_equivalence(&task.lhs, &task.rhs, width, Some(timeout));
+                        let verdict = match result.outcome {
+                            CheckOutcome::Equivalent => Verdict::Solved,
+                            CheckOutcome::NotEquivalent(_) => Verdict::Refuted,
+                            CheckOutcome::Timeout => Verdict::Timeout,
+                        };
+                        local.push(SolveRecord {
+                            sample_id: task.sample_id,
+                            kind: task.kind,
+                            verdict,
+                            elapsed: result.elapsed,
+                            solved_by_rewriting: result.solved_by_rewriting,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    records.sort_by_key(|r| r.sample_id);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: usize, lhs: &str, rhs: &str) -> EquivalenceTask {
+        EquivalenceTask {
+            sample_id: id,
+            kind: ObfuscationKind::Linear,
+            lhs: lhs.parse().unwrap(),
+            rhs: rhs.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn mixed_verdicts_come_back_in_order() {
+        let tasks = vec![
+            task(0, "x + y", "(x | y) + (x & y)"),
+            task(1, "x + y", "x - y"),
+            task(2, "x", "x"),
+        ];
+        let records = run_equivalence_checks(
+            &tasks,
+            &SolverProfile::boolector_style(),
+            8,
+            Duration::from_secs(5),
+            3,
+        );
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.sample_id).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(records[0].verdict, Verdict::Solved);
+        assert_eq!(records[1].verdict, Verdict::Refuted);
+        assert_eq!(records[2].verdict, Verdict::Solved);
+        assert!(records[2].solved_by_rewriting);
+    }
+
+    #[test]
+    fn timeouts_are_reported() {
+        // Figure 1 at 12 bits with a microscopic timeout.
+        let tasks = vec![task(
+            0,
+            "(x&~y)*(~x&y) + (x&y)*(x|y)",
+            "x*y",
+        )];
+        let records = run_equivalence_checks(
+            &tasks,
+            &SolverProfile::z3_style(),
+            12,
+            Duration::from_millis(1),
+            1,
+        );
+        assert_eq!(records[0].verdict, Verdict::Timeout);
+    }
+
+    #[test]
+    fn single_thread_handles_all_tasks() {
+        let tasks: Vec<_> = (0..5).map(|i| task(i, "x", "x")).collect();
+        let records = run_equivalence_checks(
+            &tasks,
+            &SolverProfile::stp_style(),
+            8,
+            Duration::from_secs(1),
+            1,
+        );
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|r| r.verdict == Verdict::Solved));
+    }
+}

@@ -1,0 +1,81 @@
+//! `mba-simplify`: command-line MBA simplification.
+//!
+//! Reads MBA expressions (arguments, or stdin one per line) and prints
+//! the simplified form. With `--verbose`, also prints the category and
+//! the alternation reduction.
+//!
+//! ```text
+//! $ mba_simplify '2*(x|y) - (~x&y) - (x&~y)'
+//! x+y
+//! $ echo '(x&~y)*(~x&y) + (x&y)*(x|y)' | mba_simplify --verbose
+//! x*y    [poly, alternation 2 -> 0, 1 rounds]
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+use mba_expr::Expr;
+use mba_solver::Simplifier;
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    let mut inputs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                eprintln!("usage: mba_simplify [--verbose] [EXPR ...]");
+                eprintln!("reads expressions from stdin when no EXPR is given");
+                return ExitCode::SUCCESS;
+            }
+            other => inputs.push(other.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(l) if !l.trim().is_empty() => inputs.push(l),
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("mba_simplify: read error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let simplifier = Simplifier::new();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failed = false;
+    for input in &inputs {
+        match input.parse::<Expr>() {
+            Ok(e) => {
+                let d = simplifier.simplify_detailed(&e);
+                if verbose {
+                    let _ = writeln!(
+                        out,
+                        "{}    [{}, alternation {} -> {}, {} rounds]",
+                        d.output,
+                        d.input_metrics.class,
+                        d.input_metrics.alternation,
+                        d.output_metrics.alternation,
+                        d.rounds
+                    );
+                } else {
+                    let _ = writeln!(out, "{}", d.output);
+                }
+            }
+            Err(err) => {
+                eprintln!("mba_simplify: cannot parse `{input}`: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,50 @@
+//! MBA-Solver: the paper's core contribution (§4, Algorithm 1).
+//!
+//! A semantic-preserving simplifier for Mixed-Bitwise-Arithmetic
+//! expressions, designed as a preprocessing pass in front of an SMT
+//! solver. The pipeline:
+//!
+//! 1. **Signature extraction** — every maximal pure-bitwise subtree is
+//!    converted to its signature vector (Definition 3) and re-expressed
+//!    in the normalized basis `{−1} ∪ {∧S}` by exact Möbius inversion
+//!    (§4.2–§4.3), collapsing MBA alternation.
+//! 2. **Arithmetic reduction** — the whole expression becomes an exact
+//!    multivariate polynomial over *atoms* (variables and normalized
+//!    `∧`-terms) with coefficients in `Z/2^w`; expansion and collection
+//!    cancel the obfuscation residue (the paper's SymPy step, §4.4).
+//! 3. **Opaque abstraction** — arithmetic subtrees under bitwise
+//!    operators are replaced by fresh temporaries, simplified
+//!    independently, and substituted back; identical subtrees share a
+//!    temporary, which *is* the paper's common-subexpression
+//!    optimization (§4.5).
+//! 4. **Final-step optimization** — a result whose signature is a scaled
+//!    truth-table column folds to a single bitwise operation via the
+//!    minimal-expression catalog (§4.5), e.g.
+//!    `x + y − 2(x∧y) → x⊕y`.
+//!
+//! The transformation never changes semantics — every step is justified
+//! by Theorem 1 or by ring arithmetic — and the simplifier returns the
+//! input unchanged rather than emit anything weaker.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mba_solver::Simplifier;
+//!
+//! let simplifier = Simplifier::new();
+//! // The paper's Figure 1 query that Z3 cannot crack in an hour:
+//! let hard = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().unwrap();
+//! let simplified = simplifier.simplify(&hard);
+//! assert_eq!(simplified.to_string(), "x*y");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+pub mod poly;
+mod rewrite;
+mod simplifier;
+
+pub use poly::Poly;
+pub use simplifier::{Basis, Simplified, Simplifier, SimplifyConfig};

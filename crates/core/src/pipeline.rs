@@ -1,0 +1,295 @@
+//! Lowering expressions to polynomials: signature extraction for bitwise
+//! subtrees, opaque abstraction for arithmetic-under-bitwise, and the
+//! arithmetic-reduction glue (the body of Algorithm 1).
+
+use std::collections::{BTreeSet, HashMap};
+
+use mba_expr::{BinOp, Expr, Ident, UnOp};
+use mba_sig::{SignatureVector, TruthTable};
+
+use crate::poly::Poly;
+use crate::simplifier::{Basis, Simplifier};
+
+/// One lowering pass over a single expression. Collects the temporaries
+/// it abstracts so the driver can substitute them back.
+pub(crate) struct Pipeline<'a> {
+    simplifier: &'a Simplifier,
+    depth: usize,
+    /// Names that must not be used for temporaries (the input's own
+    /// variables).
+    forbidden: BTreeSet<Ident>,
+    /// Temporaries in creation order: `(name, simplified replacement)`.
+    temps: Vec<(Ident, Expr)>,
+    /// Dedup map from the abstracted subtree's *simplified canonical
+    /// form* to its temporary — sharing here is the paper's
+    /// common-subexpression optimization, robust to the two sites having
+    /// been obfuscated differently.
+    temp_map: HashMap<Expr, Ident>,
+    /// Set when a polynomial blow-up forced a bail-out.
+    pub(crate) bailed: bool,
+}
+
+impl<'a> Pipeline<'a> {
+    pub(crate) fn new(simplifier: &'a Simplifier, root: &Expr, depth: usize) -> Self {
+        Pipeline {
+            simplifier,
+            depth,
+            forbidden: root.vars(),
+            temps: Vec::new(),
+            temp_map: HashMap::new(),
+            bailed: false,
+        }
+    }
+
+    /// Runs the pass: lower to a polynomial, render, and substitute the
+    /// temporaries back. `None` means the pass bailed out (monomial cap)
+    /// and the caller should keep the input.
+    pub(crate) fn run(&mut self, e: &Expr) -> Option<Expr> {
+        let poly = self.to_poly(e)?;
+        let mut rendered = poly.to_expr();
+        // Substitute in reverse creation order; replacements contain only
+        // original variables, so one pass per temp suffices.
+        for (name, replacement) in self.temps.iter().rev() {
+            rendered = rendered.substitute(name, replacement);
+        }
+        Some(rendered)
+    }
+
+    fn width(&self) -> u32 {
+        self.simplifier.config().width
+    }
+
+    /// Lowers an arbitrary MBA expression to a polynomial over atoms.
+    #[allow(clippy::wrong_self_convention)]
+    fn to_poly(&mut self, e: &Expr) -> Option<Poly> {
+        match e {
+            Expr::Const(c) => Some(Poly::constant(*c, self.width())),
+            Expr::Var(v) => Some(Poly::atom(Expr::Var(v.clone()), self.width())),
+            Expr::Unary(UnOp::Neg, a) => Some(self.to_poly(a)?.neg()),
+            Expr::Unary(UnOp::Not, _) => self.bitwise_to_poly(e),
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Add => Some(self.to_poly(a)?.add(&self.to_poly(b)?)),
+                BinOp::Sub => Some(self.to_poly(a)?.sub(&self.to_poly(b)?)),
+                BinOp::Mul => {
+                    let pa = self.to_poly(a)?;
+                    let pb = self.to_poly(b)?;
+                    match pa.mul_capped(&pb, self.simplifier.config().max_monomials) {
+                        Some(p) => Some(p),
+                        None => {
+                            self.bailed = true;
+                            None
+                        }
+                    }
+                }
+                BinOp::And | BinOp::Or | BinOp::Xor => self.bitwise_to_poly(e),
+            },
+        }
+    }
+
+    /// Lowers a bitwise-rooted subtree: abstract arithmetic children,
+    /// take the signature of the remaining pure-bitwise skeleton, and
+    /// expand it in the configured normalized basis.
+    fn bitwise_to_poly(&mut self, e: &Expr) -> Option<Poly> {
+        let skeleton = self.skeleton(e);
+        let vars: Vec<Ident> = skeleton.vars().into_iter().collect();
+        if vars.is_empty() {
+            // Constant-only bitwise tree, e.g. ~0: evaluate directly.
+            let value = skeleton.eval(&mba_expr::Valuation::new(), self.width());
+            // Interpret as the symmetric residue so -1 stays -1.
+            let signed = if self.width() == 64 {
+                value as i64 as i128
+            } else if value >= 1u64 << (self.width() - 1) {
+                value as i128 - (1i128 << self.width())
+            } else {
+                value as i128
+            };
+            return Some(Poly::constant(signed, self.width()));
+        }
+        if vars.len() > TruthTable::MAX_VARS {
+            // Too wide for a truth table: keep the subtree opaque.
+            return Some(Poly::atom(skeleton, self.width()));
+        }
+        let sig = SignatureVector::of_bitwise(&skeleton, &vars)
+            .expect("skeleton is pure bitwise by construction");
+        Some(self.signature_to_poly(&sig, &vars))
+    }
+
+    /// Expands a 0/1 signature in the configured basis. `Adaptive` is
+    /// resolved to concrete bases by the driver before pipelines run,
+    /// so it falls back to ∧ here.
+    fn signature_to_poly(&self, sig: &SignatureVector, vars: &[Ident]) -> Poly {
+        match self.simplifier.config().basis {
+            Basis::And | Basis::Adaptive => {
+                self.expand_and_basis(&sig.normalized_coefficients(), vars)
+            }
+            Basis::Or => {
+                let t = vars.len();
+                let basis: Vec<Expr> = (0..1usize << t)
+                    .map(|s| {
+                        if s == 0 {
+                            Expr::minus_one()
+                        } else {
+                            or_of_subset(s, vars)
+                        }
+                    })
+                    .collect();
+                match sig.solve_in_basis(&basis, vars) {
+                    Ok(Some(coeffs)) => {
+                        let mut p = Poly::zero(self.width());
+                        for (s, &c) in coeffs.iter().enumerate() {
+                            if c == 0 {
+                                continue;
+                            }
+                            if s == 0 {
+                                p.add_term(Vec::new(), -c);
+                            } else {
+                                p.add_term(vec![or_of_subset(s, vars)], c);
+                            }
+                        }
+                        p
+                    }
+                    // The ∨-basis can lack integer solutions for some
+                    // signatures; fall back to the ∧-basis, which is
+                    // unimodular and never fails.
+                    _ => self.expand_and_basis(&sig.normalized_coefficients(), vars),
+                }
+            }
+        }
+    }
+
+    fn expand_and_basis(&self, coeffs: &[i128], vars: &[Ident]) -> Poly {
+        let mut p = Poly::zero(self.width());
+        for (s, &c) in coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if s == 0 {
+                // Coefficient of the all-ones column (−1): constant −c.
+                p.add_term(Vec::new(), -c);
+            } else {
+                p.add_term(vec![and_of_subset(s, vars)], c);
+            }
+        }
+        p
+    }
+
+    /// Rebuilds a bitwise-rooted subtree with every non-bitwise child
+    /// abstracted into a temporary variable.
+    fn skeleton(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Var(_) => e.clone(),
+            Expr::Const(0) | Expr::Const(-1) => e.clone(),
+            Expr::Unary(UnOp::Not, a) => Expr::unary(UnOp::Not, self.skeleton(a)),
+            Expr::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Xor), a, b) => {
+                Expr::binary(*op, self.skeleton(a), self.skeleton(b))
+            }
+            // Anything else — arithmetic subtree or a non-uniform
+            // constant — becomes an opaque temporary.
+            other => self.temp_for(other),
+        }
+    }
+
+    /// Returns the (possibly negated) temporary standing for `child`,
+    /// creating one on first sight.
+    ///
+    /// Deduplication works on the child's *simplified* form, so two
+    /// sites that were obfuscated differently still share a temporary —
+    /// the paper's common-subexpression optimization, made robust. A
+    /// child whose simplified form is the bitwise complement of an
+    /// existing temporary (`E = ¬E' = −E'−1`) reuses it as `¬t'`, which
+    /// lets e.g. `(A ⊕ B) − 2(¬A ∧ B)` collapse even when the two `A`
+    /// copies diverged syntactically.
+    fn temp_for(&mut self, child: &Expr) -> Expr {
+        // Deduplication key: the *canonical* polynomial render of the
+        // child, computed without the output-size heuristic. Two sites
+        // that were obfuscated differently but denote the same
+        // polynomial share one key — and therefore one temporary.
+        let key = self.simplifier.canonical_form(child, self.depth + 1);
+        if let Some(name) = self.temp_map.get(&key) {
+            return Expr::Var(name.clone());
+        }
+        // Complement probe: a child whose canonical form matches an
+        // existing temporary's complement (¬E = −E − 1) reuses it as
+        // `¬t`, so e.g. `(A ⊕ B) − 2(¬A ∧ B)` collapses even when the
+        // two `A` copies diverged syntactically.
+        let complement_input = Expr::binary(
+            BinOp::Sub,
+            Expr::unary(UnOp::Neg, child.clone()),
+            Expr::one(),
+        );
+        let complement_key = self
+            .simplifier
+            .canonical_form(&complement_input, self.depth + 1);
+        if let Some(name) = self.temp_map.get(&complement_key) {
+            return Expr::unary(UnOp::Not, Expr::Var(name.clone()));
+        }
+        // The *replacement* substituted back into the output is the
+        // best-scored simplification (plus the per-level FinalOptimize
+        // of Algorithm 1), not the canonical render, which may be
+        // larger.
+        let mut simplified = self.simplifier.simplify_round(child, self.depth + 1).0;
+        if self.simplifier.config().final_step {
+            simplified = self.simplifier.final_step(&simplified);
+        }
+        let name = self.fresh_name();
+        self.forbidden.insert(name.clone());
+        self.temps.push((name.clone(), simplified));
+        self.temp_map.insert(key, name.clone());
+        Expr::Var(name)
+    }
+
+    fn fresh_name(&self) -> Ident {
+        let mut n = self.temps.len();
+        loop {
+            let candidate = Ident::new(format!("_t{n}"));
+            if !self.forbidden.contains(&candidate) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+}
+
+/// The conjunction of the variables selected by row-index bit mask `s`
+/// (bit `p` ↔ `vars[t-1-p]`, matching the signature row convention).
+pub(crate) fn and_of_subset(s: usize, vars: &[Ident]) -> Expr {
+    subset_chain(s, vars, BinOp::And)
+}
+
+/// The disjunction of the variables selected by mask `s`.
+pub(crate) fn or_of_subset(s: usize, vars: &[Ident]) -> Expr {
+    subset_chain(s, vars, BinOp::Or)
+}
+
+fn subset_chain(s: usize, vars: &[Ident], op: BinOp) -> Expr {
+    let t = vars.len();
+    let mut selected = (0..t).filter(|j| s & (1 << (t - 1 - j)) != 0);
+    let first = selected
+        .next()
+        .expect("subset_chain requires a non-empty subset");
+    selected.fold(Expr::var(vars[first].clone()), |acc, j| {
+        Expr::binary(op, acc, Expr::var(vars[j].clone()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_builders() {
+        let vars = [Ident::new("x"), Ident::new("y"), Ident::new("z")];
+        // Mask bits: bit 2 = x, bit 1 = y, bit 0 = z.
+        assert_eq!(and_of_subset(0b100, &vars).to_string(), "x");
+        assert_eq!(and_of_subset(0b011, &vars).to_string(), "y&z");
+        assert_eq!(and_of_subset(0b111, &vars).to_string(), "x&y&z");
+        assert_eq!(or_of_subset(0b101, &vars).to_string(), "x|z");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty subset")]
+    fn empty_subset_panics() {
+        let vars = [Ident::new("x")];
+        and_of_subset(0, &vars);
+    }
+}

@@ -1,0 +1,644 @@
+//! The [`Simplifier`] driver: rounds, caching, scoring, and the
+//! final-step optimization (Algorithm 1's outer loop).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mba_expr::{metrics, Expr, Ident, MbaClass, Metrics};
+use mba_sig::{catalog, linear_combination, SignatureVector};
+use parking_lot::Mutex;
+
+use crate::pipeline::Pipeline;
+
+/// Which normalized basis the §4.3 reduction targets (§7 discusses the
+/// trade-off; Table 4 is the ∧-basis, Table 9 the ∨-basis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Basis {
+    /// `{−1} ∪ {∧S}` — unimodular, always integer-solvable (Table 4).
+    #[default]
+    And,
+    /// `{−1} ∪ {∨S}` — sometimes shorter, falls back to ∧ when no
+    /// integer solution exists (Table 9).
+    Or,
+    /// Try both bases and keep the better result — the base-vector
+    /// selection heuristic §7 proposes as future work. Costs roughly
+    /// twice the time of a fixed basis.
+    Adaptive,
+}
+
+/// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
+/// the paper's prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplifyConfig {
+    /// Bit width of the target ring `Z/2^w`; coefficients reduce
+    /// symmetrically modulo `2^width`. MBA identities are width-generic,
+    /// so 64 (the default) is safe for any narrower target.
+    pub width: u32,
+    /// Maximum simplification rounds (substituting temporaries back can
+    /// expose further reductions, as in the §4.5 example).
+    pub max_rounds: usize,
+    /// Bail-out threshold on distinct monomials during expansion.
+    pub max_monomials: usize,
+    /// Enable the final-step optimization (§4.5): fold a scaled
+    /// truth-table signature into a single bitwise expression.
+    pub final_step: bool,
+    /// Enable the look-up table (§4.5): memoize per-expression results.
+    pub use_cache: bool,
+    /// Normalized basis selection (§7).
+    pub basis: Basis,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        SimplifyConfig {
+            width: 64,
+            max_rounds: 4,
+            max_monomials: 4096,
+            final_step: true,
+            use_cache: true,
+            basis: Basis::And,
+        }
+    }
+}
+
+/// The result of [`Simplifier::simplify_detailed`].
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// The simplified expression (the input itself when no improvement
+    /// was found — never anything semantically different).
+    pub output: Expr,
+    /// Rounds executed before the fixpoint.
+    pub rounds: usize,
+    /// Whether any pass hit the monomial cap and kept its input.
+    pub bailed: bool,
+    /// Metrics of the input.
+    pub input_metrics: Metrics,
+    /// Metrics of the output.
+    pub output_metrics: Metrics,
+}
+
+/// The MBA-Solver simplifier (Algorithm 1).
+///
+/// A `Simplifier` owns a lookup-table cache shared across calls, so reuse
+/// one instance when simplifying a corpus. All methods take `&self`; the
+/// type is `Send + Sync`.
+///
+/// ```
+/// use mba_solver::Simplifier;
+/// let s = Simplifier::new();
+/// let e = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
+/// assert_eq!(s.simplify(&e).to_string(), "x+y");
+/// ```
+#[derive(Debug, Default)]
+pub struct Simplifier {
+    config: SimplifyConfig,
+    cache: Mutex<HashMap<Expr, (Expr, bool)>>,
+    canonical_cache: Mutex<HashMap<Expr, Expr>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Recursion guard for nested temporary simplification.
+const MAX_DEPTH: usize = 32;
+
+impl Simplifier {
+    /// Creates a simplifier with the default (paper) configuration.
+    pub fn new() -> Simplifier {
+        Simplifier::default()
+    }
+
+    /// Creates a simplifier with an explicit configuration.
+    pub fn with_config(config: SimplifyConfig) -> Simplifier {
+        Simplifier {
+            config,
+            ..Simplifier::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimplifyConfig {
+        &self.config
+    }
+
+    /// Simplifies an expression, returning the best equivalent form
+    /// found (possibly the input itself).
+    pub fn simplify(&self, e: &Expr) -> Expr {
+        self.simplify_detailed(e).output
+    }
+
+    /// Simplifies an expression and reports round/bail-out details.
+    pub fn simplify_detailed(&self, e: &Expr) -> Simplified {
+        if self.config.basis == Basis::Adaptive {
+            return self.simplify_adaptive(e);
+        }
+        let mut current = e.clone();
+        let mut rounds = 0;
+        let mut bailed = false;
+        for _ in 0..self.config.max_rounds {
+            let (next, round_bailed) = self.simplify_round(&current, 0);
+            bailed |= round_bailed;
+            rounds += 1;
+            if next == current || score(&next) > score(&current) {
+                break;
+            }
+            current = next;
+        }
+        if self.config.final_step {
+            current = self.final_step(&current);
+        }
+        Simplified {
+            rounds,
+            bailed,
+            input_metrics: Metrics::of(e),
+            output_metrics: Metrics::of(&current),
+            output: current,
+        }
+    }
+
+    /// §7's base-vector selection: run the ∧- and ∨-basis pipelines
+    /// independently and keep whichever result scores better (ties go
+    /// to the ∧ basis, the paper's default).
+    fn simplify_adaptive(&self, e: &Expr) -> Simplified {
+        let and_solver = Simplifier::with_config(SimplifyConfig {
+            basis: Basis::And,
+            ..self.config.clone()
+        });
+        let or_solver = Simplifier::with_config(SimplifyConfig {
+            basis: Basis::Or,
+            ..self.config.clone()
+        });
+        let and_result = and_solver.simplify_detailed(e);
+        let or_result = or_solver.simplify_detailed(e);
+        if score(&or_result.output) < score(&and_result.output) {
+            or_result
+        } else {
+            and_result
+        }
+    }
+
+    /// `(hits, misses)` of the lookup table since construction (or the
+    /// last [`Simplifier::clear_cache`]).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Empties the lookup table and resets its counters.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+        self.canonical_cache.lock().clear();
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// One lowering pass; returns `(result, bailed)`. The result is
+    /// never worse than the input under [`score`].
+    pub(crate) fn simplify_round(&self, e: &Expr, depth: usize) -> (Expr, bool) {
+        if depth > MAX_DEPTH {
+            return (e.clone(), false);
+        }
+        if self.config.use_cache {
+            if let Some(hit) = self.cache.lock().get(e) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut pipeline = Pipeline::new(self, e, depth);
+        let candidate = pipeline.run(e);
+        let bailed = pipeline.bailed;
+        let mut result = e.clone();
+        // Prefer the pipeline's canonical render even on score ties:
+        // canonical forms make structurally-diverged but equivalent
+        // subtrees deduplicate (the common-subexpression optimization
+        // depends on it).
+        if let Some(c) = candidate {
+            if score(&c) <= score(&result) {
+                result = c;
+            }
+        }
+        // Fallback: even when full expansion loses, children may still
+        // simplify (§7's "intermediate results for sub-expressions").
+        let structural = self.structural_pass(e, depth);
+        if score(&structural) < score(&result) {
+            result = structural;
+        }
+        if self.config.use_cache {
+            self.cache
+                .lock()
+                .insert(e.clone(), (result.clone(), bailed));
+        }
+        (result, bailed)
+    }
+
+    /// The canonical polynomial render of `e` — the pipeline's output
+    /// with no size gating. Used as the deduplication key for opaque
+    /// temporaries: syntactically different but polynomially equal
+    /// subtrees share a canonical form. Falls back to `e` itself on a
+    /// monomial-cap bail-out.
+    pub(crate) fn canonical_form(&self, e: &Expr, depth: usize) -> Expr {
+        if depth > MAX_DEPTH {
+            return e.clone();
+        }
+        if let Some(hit) = self.canonical_cache.lock().get(e) {
+            return hit.clone();
+        }
+        let mut pipeline = Pipeline::new(self, e, depth);
+        let out = pipeline.run(e).unwrap_or_else(|| e.clone());
+        self.canonical_cache
+            .lock()
+            .insert(e.clone(), out.clone());
+        out
+    }
+
+    /// Rebuilds `e` with each child simplified independently, then folds
+    /// local identities at this node.
+    fn structural_pass(&self, e: &Expr, depth: usize) -> Expr {
+        let rebuilt = match e {
+            Expr::Const(_) | Expr::Var(_) => e.clone(),
+            Expr::Unary(op, a) => {
+                Expr::unary(*op, self.simplify_round(a, depth + 1).0)
+            }
+            Expr::Binary(op, a, b) => Expr::binary(
+                *op,
+                self.simplify_round(a, depth + 1).0,
+                self.simplify_round(b, depth + 1).0,
+            ),
+        };
+        crate::rewrite::peephole(rebuilt)
+    }
+
+    /// Attempts to *prove* two expressions equivalent by comparing their
+    /// canonical polynomial forms over shared atoms.
+    ///
+    /// `Some(true)` is a proof of equivalence at the configured width
+    /// (Theorem 1 plus ring arithmetic). `Some(false)` means the
+    /// polynomial forms differ — which does **not** disprove equivalence,
+    /// since distinct atoms can still be related (e.g.
+    /// `(x∧y)·(x∨y) = x·y`). `None` means a monomial-cap bail-out.
+    ///
+    /// ```
+    /// use mba_solver::Simplifier;
+    /// let s = Simplifier::new();
+    /// let a = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().unwrap();
+    /// let b = "x*y".parse().unwrap();
+    /// assert_eq!(s.proves_equivalent(&a, &b), Some(true));
+    /// ```
+    pub fn proves_equivalent(&self, a: &Expr, b: &Expr) -> Option<bool> {
+        // Simplify the difference with the full rounds loop: shared
+        // opaque subtrees on both sides unify through the temporary
+        // deduplication, and the certificate succeeds iff the
+        // difference collapses to 0.
+        let diff = Expr::binary(mba_expr::BinOp::Sub, a.clone(), b.clone());
+        let d = self.simplify_detailed(&diff);
+        if d.output == Expr::zero() {
+            Some(true)
+        } else if d.bailed {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// §4.5 final-step optimization: if the (linear, ≤3-variable) result
+    /// is a scaled truth-table column, replace it by `c ·` the minimal
+    /// bitwise expression from the catalog when that is strictly better.
+    pub(crate) fn final_step(&self, e: &Expr) -> Expr {
+        if e.mba_class() != MbaClass::Linear {
+            return e.clone();
+        }
+        let vars: Vec<Ident> = e.vars().into_iter().collect();
+        if vars.is_empty() || vars.len() > catalog::MAX_CATALOG_VARS {
+            return e.clone();
+        }
+        let Ok(sig) = SignatureVector::of_linear(e, &vars) else {
+            return e.clone();
+        };
+        let Some((c, tt)) = sig.as_scaled_truth_table() else {
+            return e.clone();
+        };
+        let Some(catalog) = catalog::shared(&vars) else {
+            return e.clone();
+        };
+        let Some(minimal) = catalog.minimal_expr(&tt) else {
+            return e.clone();
+        };
+        let candidate = linear_combination(&[(c, minimal.clone())]);
+        if score(&candidate) < score(e) {
+            candidate
+        } else {
+            e.clone()
+        }
+    }
+}
+
+/// Simplicity score: MBA alternation dominates (it is the paper's
+/// solving-difficulty driver), then AST size, then printed length.
+fn score(e: &Expr) -> (usize, usize, usize) {
+    (
+        metrics::alternation(e),
+        e.node_count(),
+        e.to_string().len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mba_expr::Valuation;
+
+    fn simplify(src: &str) -> String {
+        Simplifier::new().simplify(&src.parse().unwrap()).to_string()
+    }
+
+    #[track_caller]
+    fn assert_equiv(src: &str, expected: &str) {
+        let got = simplify(src);
+        assert_eq!(got, expected, "simplifying `{src}`");
+    }
+
+    // ------------------------------------------------------------------
+    // Linear MBA (§4.1–§4.3).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn paper_running_example() {
+        assert_equiv("2*(x|y) - (~x&y) - (x&~y)", "x+y");
+    }
+
+    #[test]
+    fn example_1_identity() {
+        // x − y == (x⊕y) + 2(x∨¬y) + 2 (derived in §2.1 Example 1).
+        assert_equiv("(x^y) + 2*(x|~y) + 2", "x-y");
+    }
+
+    #[test]
+    fn hackers_delight_addition_encodings() {
+        for src in [
+            "(x|y) + (~x|y) - ~x",
+            "(x|y) + y - (~x&y)",
+            "(x^y) + 2*y - 2*(~x&y)",
+            "y + (x&~y) + (x&y)",
+        ] {
+            assert_equiv(src, "x+y");
+        }
+    }
+
+    #[test]
+    fn final_step_recovers_single_bitwise_ops() {
+        assert_equiv("x + y - 2*(x&y)", "x^y");
+        assert_equiv("x + y - (x&y)", "x|y");
+        assert_equiv("(x|y) - (x&y)", "x^y");
+        // ¬x = −x−1 folds back to the bitwise form.
+        assert_equiv("-x - 1", "~x");
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert_equiv("3 + 4", "7");
+        assert_equiv("x + 2 - 2", "x");
+        assert_equiv("(x&~x) + 5", "5");
+        assert_equiv("x ^ x", "0");
+        assert_equiv("x & x", "x");
+    }
+
+    // ------------------------------------------------------------------
+    // Polynomial MBA (§4.4).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn figure_1_poly_reduces_to_xy() {
+        assert_equiv("(x&~y)*(~x&y) + (x&y)*(x|y)", "x*y");
+    }
+
+    #[test]
+    fn squared_xor_identity_proved_by_polynomials() {
+        // (x⊕y)² = (x∨y)² − 2(x∨y)(x∧y) + (x∧y)²: both sides expand to
+        // the same canonical polynomial over {x, y, x∧y}.
+        let s = Simplifier::new();
+        let lhs: Expr = "(x^y)*(x^y)".parse().unwrap();
+        let rhs: Expr = "(x|y)*(x|y) - 2*((x|y)*(x&y)) + (x&y)*(x&y)"
+            .parse()
+            .unwrap();
+        assert_eq!(s.proves_equivalent(&lhs, &rhs), Some(true));
+        // The polynomial certificate is one-sided: unequal polys do not
+        // disprove equivalence.
+        let unrelated: Expr = "x + 1".parse().unwrap();
+        assert_eq!(s.proves_equivalent(&lhs, &unrelated), Some(false));
+    }
+
+    #[test]
+    fn rejected_expansion_still_cleans_subterms() {
+        // (x∧y)·(x∨y) = x·y is a *relation between atoms* the polynomial
+        // view cannot witness, so the product is kept — but the
+        // structural pass still folds the trailing `+ 0`.
+        assert_equiv("(x&y)*(x|y) + 0", "(x&y)*(x|y)");
+        // The relation is visible to the polynomial certificate when the
+        // left side is written in basis form, though:
+        let s = Simplifier::new();
+        let a: Expr = "(x&y)*(x + y - (x&y))".parse().unwrap();
+        let b: Expr = "x*y - (x - (x&y))*(y - (x&y))".parse().unwrap();
+        assert_eq!(s.proves_equivalent(&a, &b), Some(true));
+    }
+
+    // ------------------------------------------------------------------
+    // Non-polynomial MBA (§4.4–§4.5).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn section_4_5_common_subexpression_example() {
+        assert_equiv(
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+            "x-y+z",
+        );
+    }
+
+    #[test]
+    fn not_of_arithmetic_reduces() {
+        // ¬(x−1) = −x: the case §6.1 reports MBA-Solver's prototype
+        // missing; the opaque-abstraction pipeline handles it.
+        assert_equiv("~(x - 1)", "-x");
+        assert_equiv("~(x + y)", "-x-y-1");
+    }
+
+    #[test]
+    fn nonpoly_with_shared_opaque_term() {
+        // (t|z) + (t&z) = t + z with t = x*y (a genuinely opaque term).
+        assert_equiv("(x*y | z) + (x*y & z)", "x*y+z");
+    }
+
+    #[test]
+    fn xor_of_equal_arithmetic_is_zero() {
+        assert_equiv("(x+y) ^ (x+y)", "0");
+        assert_equiv("(x+y) & (x+y)", "x+y");
+        assert_equiv("(x*y) | (x*y)", "x*y");
+    }
+
+    // ------------------------------------------------------------------
+    // Robustness and semantics preservation.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn never_worse_than_input() {
+        let s = Simplifier::new();
+        for src in [
+            "x",
+            "x*y*z",
+            "(x-y)|((z*z)^~x)",
+            "~(~(~x))",
+            "x & 3",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let out = s.simplify(&e);
+            assert!(
+                score(&out) <= score(&e),
+                "simplify made `{src}` worse: `{out}`"
+            );
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_inputs() {
+        let s = Simplifier::new();
+        let cases = [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x&~y)*(~x&y) + (x&y)*(x|y)",
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+            "~(x - 1)",
+            "(x*y | z) + (x*y & z)",
+            "x + y - 2*(x&y)",
+            "x & 3",
+            "~0",
+            "(x ^ y ^ z) * (x & y & z) - 17",
+        ];
+        let inputs = [
+            (0u64, 0u64, 0u64),
+            (1, 2, 3),
+            (u64::MAX, 1, 0x1234_5678),
+            (0xdead_beef_dead_beef, 0xfeed_face_cafe_f00d, 42),
+        ];
+        for src in cases {
+            let e: Expr = src.parse().unwrap();
+            let out = s.simplify(&e);
+            for &(x, y, z) in &inputs {
+                let v = Valuation::new().with("x", x).with("y", y).with("z", z);
+                for w in [8u32, 32, 64] {
+                    assert_eq!(
+                        e.eval(&v, w),
+                        out.eval(&v, w),
+                        "`{src}` -> `{out}` differs at ({x},{y},{z}) width {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let s = Simplifier::new();
+        let e: Expr = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
+        s.simplify(&e);
+        let (_, misses_first) = s.cache_stats();
+        s.simplify(&e);
+        let (hits, _) = s.cache_stats();
+        assert!(hits > 0, "second run must hit the lookup table");
+        assert!(misses_first > 0);
+        s.clear_cache();
+        assert_eq!(s.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let s = Simplifier::with_config(SimplifyConfig {
+            use_cache: false,
+            ..SimplifyConfig::default()
+        });
+        let e: Expr = "x + y - 2*(x&y)".parse().unwrap();
+        assert_eq!(s.simplify(&e).to_string(), "x^y");
+        assert_eq!(s.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn final_step_can_be_disabled() {
+        let s = Simplifier::with_config(SimplifyConfig {
+            final_step: false,
+            ..SimplifyConfig::default()
+        });
+        let e: Expr = "x + y - 2*(x&y)".parse().unwrap();
+        // Without the final step the ∧-basis form is already normal.
+        assert_eq!(s.simplify(&e).to_string(), "x+y-2*(x&y)");
+    }
+
+    #[test]
+    fn adaptive_basis_never_loses_to_and_basis() {
+        let and_solver = Simplifier::new();
+        let adaptive = Simplifier::with_config(SimplifyConfig {
+            basis: Basis::Adaptive,
+            ..SimplifyConfig::default()
+        });
+        for src in [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "x + y - (x&y)",
+            "(x&~y)*(~x&y) + (x&y)*(x|y)",
+            "~(x - 1)",
+            "3*(x|~y) - 5*(~x&y) + 2*(x^y)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let a = and_solver.simplify(&e);
+            let ad = adaptive.simplify(&e);
+            let s = |e: &Expr| {
+                (metrics::alternation(e), e.node_count(), e.to_string().len())
+            };
+            assert!(s(&ad) <= s(&a), "adaptive lost on {src}: {ad} vs {a}");
+            // Still semantically equal.
+            let v = Valuation::new().with("x", 1234).with("y", 77);
+            assert_eq!(a.eval(&v, 64), ad.eval(&v, 64), "{src}");
+        }
+    }
+
+    #[test]
+    fn or_basis_produces_equivalent_results() {
+        let s = Simplifier::with_config(SimplifyConfig {
+            basis: Basis::Or,
+            ..SimplifyConfig::default()
+        });
+        let e: Expr = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
+        let out = s.simplify(&e);
+        let v = Valuation::new().with("x", 77).with("y", 13);
+        assert_eq!(out.eval(&v, 64), 90);
+    }
+
+    #[test]
+    fn detailed_reporting() {
+        let s = Simplifier::new();
+        let e: Expr = "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)"
+            .parse()
+            .unwrap();
+        let d = s.simplify_detailed(&e);
+        assert_eq!(d.output.to_string(), "x-y+z");
+        assert!(d.rounds >= 1);
+        assert!(!d.bailed);
+        assert!(d.output_metrics.alternation < d.input_metrics.alternation);
+    }
+
+    #[test]
+    fn six_variable_linear_mba() {
+        // Signature machinery supports up to 6 variables.
+        let e: Expr = "(a&b&c&d&e&f) + (a|b) - (a|b)".parse().unwrap();
+        assert_eq!(Simplifier::new().simplify(&e).to_string(), "a&b&c&d&e&f");
+    }
+
+    #[test]
+    fn seven_variable_bitwise_kept_opaque() {
+        let e: Expr = "(a&b&c&d&e&f&g) + 0".parse().unwrap();
+        let out = Simplifier::new().simplify(&e);
+        // Too wide for a truth table: must survive untouched (modulo +0).
+        let v: Valuation = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|n| (mba_expr::Ident::new(*n), u64::MAX))
+            .collect();
+        assert_eq!(out.eval(&v, 64), u64::MAX);
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration tests for the `mba_simplify` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mba_simplify"))
+}
+
+#[test]
+fn simplifies_arguments() {
+    let out = bin()
+        .arg("2*(x|y) - (~x&y) - (x&~y)")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "x+y");
+}
+
+#[test]
+fn verbose_reports_category_and_alternation() {
+    let out = bin()
+        .arg("--verbose")
+        .arg("(x&~y)*(~x&y) + (x&y)*(x|y)")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("x*y"), "got: {text}");
+    assert!(text.contains("[poly, alternation 2 -> 0"), "got: {text}");
+}
+
+#[test]
+fn reads_stdin_line_per_expression() {
+    let mut child = bin()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"x + y - 2*(x&y)\n~(x - 1)\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("binary finishes");
+    assert!(out.status.success());
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .expect("utf8")
+        .lines()
+        .collect();
+    assert_eq!(lines, ["x^y", "-x"]);
+}
+
+#[test]
+fn parse_errors_exit_nonzero_but_process_the_rest() {
+    let out = bin()
+        .arg("((broken")
+        .arg("x + 0")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "x");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}
+
+#[test]
+fn help_flag_succeeds() {
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,73 @@
+//! End-to-end: MBA-Solver vs a generated corpus (a small-scale preview
+//! of the paper's Table 6 experiment).
+
+use mba_expr::{Expr, Valuation};
+use mba_gen::{Corpus, CorpusConfig, ObfuscationKind};
+use mba_solver::Simplifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn equivalent_by_sampling(a: &Expr, b: &Expr, rng: &mut StdRng) -> bool {
+    let vars: Vec<_> = a.vars().union(&b.vars()).cloned().collect();
+    for _ in 0..16 {
+        let v: Valuation = vars.iter().map(|n| (n.clone(), rng.gen())).collect();
+        for w in [8u32, 64] {
+            if a.eval(&v, w) != b.eval(&v, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn simplifier_handles_a_generated_corpus() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: 2024,
+        per_category: 25,
+    });
+    let simplifier = Simplifier::new();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut reduced = 0usize;
+    for sample in corpus.samples() {
+        let detail = simplifier.simplify_detailed(&sample.obfuscated);
+        // Soundness: the output is always equivalent to the input.
+        assert!(
+            equivalent_by_sampling(&detail.output, &sample.ground_truth, &mut rng),
+            "unsound simplification of {sample}: got {}",
+            detail.output
+        );
+        if detail.output_metrics.alternation <= 2 {
+            reduced += 1;
+        }
+    }
+    // The paper reports 96.5% of samples becoming solver-friendly; at
+    // this scale we demand at least 90% landing at alternation ≤ 2.
+    let ratio = reduced as f64 / corpus.len() as f64;
+    assert!(
+        ratio >= 0.9,
+        "only {reduced}/{} samples reduced to low alternation",
+        corpus.len()
+    );
+}
+
+#[test]
+fn linear_samples_simplify_to_their_ground_truth_signature() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: 31337,
+        per_category: 20,
+    });
+    let simplifier = Simplifier::new();
+    for sample in corpus.by_kind(ObfuscationKind::Linear) {
+        let out = simplifier.simplify(&sample.obfuscated);
+        // For linear MBA, simplification must be *complete*: the result
+        // is provably equal to the ground truth via the polynomial
+        // certificate.
+        assert_eq!(
+            simplifier.proves_equivalent(&out, &sample.ground_truth),
+            Some(true),
+            "linear sample not fully reduced: {sample} -> {out}"
+        );
+    }
+}

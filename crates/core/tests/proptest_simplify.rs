@@ -1,0 +1,125 @@
+//! The simplifier's one non-negotiable contract, checked under fire:
+//! whatever it outputs is semantically identical to the input, at every
+//! width, on arbitrary expressions — including ill-behaved non-poly
+//! shapes it cannot actually simplify.
+
+use mba_expr::{Expr, Valuation};
+use mba_solver::{Basis, Simplifier, SimplifyConfig};
+use proptest::prelude::*;
+
+/// Arbitrary MBA expressions over {x, y, z}, biased toward the mixed
+/// shapes the corpus contains.
+fn arb_mba() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        3 => prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var),
+        1 => (-16i128..=16).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a & b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a | b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a ^ b),
+            inner.clone().prop_map(|e| !e),
+            inner.prop_map(|e| -e),
+        ]
+    })
+}
+
+fn assert_same_semantics(a: &Expr, b: &Expr, x: u64, y: u64, z: u64) -> Result<(), TestCaseError> {
+    let v = Valuation::new().with("x", x).with("y", y).with("z", z);
+    for w in [1u32, 8, 17, 32, 64] {
+        prop_assert_eq!(
+            a.eval(&v, w),
+            b.eval(&v, w),
+            "`{}` vs `{}` at ({},{},{}) width {}",
+            a,
+            b,
+            x,
+            y,
+            z,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Soundness: output ≡ input for the default configuration.
+    #[test]
+    fn simplify_preserves_semantics(
+        e in arb_mba(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+        z in any::<u64>(),
+    ) {
+        let s = Simplifier::new();
+        let out = s.simplify(&e);
+        assert_same_semantics(&e, &out, x, y, z)?;
+    }
+
+    /// Soundness holds with every optimization disabled or varied.
+    #[test]
+    fn simplify_preserves_semantics_all_configs(
+        e in arb_mba(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        for config in [
+            SimplifyConfig { final_step: false, ..SimplifyConfig::default() },
+            SimplifyConfig { use_cache: false, ..SimplifyConfig::default() },
+            SimplifyConfig { basis: Basis::Or, ..SimplifyConfig::default() },
+            SimplifyConfig { max_rounds: 1, ..SimplifyConfig::default() },
+            SimplifyConfig { max_monomials: 8, ..SimplifyConfig::default() },
+        ] {
+            let s = Simplifier::with_config(config);
+            let out = s.simplify(&e);
+            assert_same_semantics(&e, &out, x, y, 0)?;
+        }
+    }
+
+    /// Idempotence: simplifying a simplified expression changes nothing
+    /// (the fixpoint is real).
+    #[test]
+    fn simplify_is_idempotent(e in arb_mba()) {
+        let s = Simplifier::new();
+        let once = s.simplify(&e);
+        let twice = s.simplify(&once);
+        prop_assert_eq!(&once, &twice, "not a fixpoint: `{}` -> `{}`", once, twice);
+    }
+
+    /// The output never scores worse than the input.
+    #[test]
+    fn simplify_never_regresses(e in arb_mba()) {
+        let s = Simplifier::new();
+        let d = s.simplify_detailed(&e);
+        prop_assert!(
+            d.output_metrics.alternation <= d.input_metrics.alternation,
+            "alternation grew on `{}`", e
+        );
+    }
+
+    /// proves_equivalent is sound: a `true` verdict survives random
+    /// evaluation.
+    #[test]
+    fn poly_equivalence_proofs_are_sound(
+        a in arb_mba(),
+        b in arb_mba(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+        z in any::<u64>(),
+    ) {
+        let s = Simplifier::new();
+        if s.proves_equivalent(&a, &b) == Some(true) {
+            assert_same_semantics(&a, &b, x, y, z)?;
+        }
+        // Reflexivity must always be provable (unless it bails).
+        if let Some(verdict) = s.proves_equivalent(&a, &a) {
+            prop_assert!(verdict, "reflexivity failed on `{}`", a);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Rust operator overloads for building [`Expr`] trees.
+//!
+//! Each overload maps to the corresponding MBA operator, so expression
+//! construction in Rust reads like the concrete syntax:
+//!
+//! ```
+//! use mba_expr::Expr;
+//! let (x, y) = (Expr::var("x"), Expr::var("y"));
+//! let e = (x.clone() ^ y.clone()) + Expr::constant(2) * (x & y);
+//! assert_eq!(e.to_string(), "(x^y)+2*(x&y)");
+//! ```
+
+use std::ops;
+
+use crate::ast::{BinOp, Expr, UnOp};
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::binary($op, self, rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(BitAnd, bitand, BinOp::And);
+impl_binop!(BitOr, bitor, BinOp::Or);
+impl_binop!(BitXor, bitxor, BinOp::Xor);
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(-c),
+            other => Expr::unary(UnOp::Neg, other),
+        }
+    }
+}
+
+impl ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::unary(UnOp::Not, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overloads_build_expected_trees() {
+        let x = Expr::var("x");
+        let y = Expr::var("y");
+        let built = (x.clone() | y.clone()) - (x & y);
+        let parsed: Expr = "(x|y) - (x&y)".parse().unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn neg_folds_constants() {
+        assert_eq!(-Expr::Const(5), Expr::Const(-5));
+        assert_eq!(-Expr::var("x"), Expr::unary(UnOp::Neg, Expr::var("x")));
+    }
+
+    #[test]
+    fn not_wraps() {
+        assert_eq!(!Expr::var("x"), "~x".parse().unwrap());
+    }
+}

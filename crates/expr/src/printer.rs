@@ -1,0 +1,186 @@
+//! Precedence-aware pretty printing.
+//!
+//! The printer emits the same Python-style syntax the parser accepts and
+//! inserts the minimal parentheses needed for the output to re-parse to a
+//! structurally identical tree (a property checked by round-trip tests and
+//! a dedicated proptest).
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr};
+
+/// Binding strength. Larger binds tighter.
+fn binop_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::Xor => 2,
+        BinOp::And => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul => 5,
+    }
+}
+
+const UNARY_PREC: u8 = 6;
+const ATOM_PREC: u8 = 7;
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(c) if *c < 0 => UNARY_PREC,
+        Expr::Const(_) | Expr::Var(_) => ATOM_PREC,
+        Expr::Unary(..) => UNARY_PREC,
+        Expr::Binary(op, ..) => binop_prec(*op),
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Const(c) => write!(f, "{c}"),
+        Expr::Var(v) => write!(f, "{v}"),
+        Expr::Unary(op, inner) => {
+            f.write_str(op.symbol())?;
+            fmt_child(inner, UNARY_PREC, f)
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let p = binop_prec(*op);
+            // Left child may sit at the same level (operators are
+            // left-associative); the right child needs strictly tighter
+            // binding for non-commutative/non-associative shapes.
+            fmt_child(lhs, p, f)?;
+            f.write_str(op.symbol())?;
+            let rhs_min = match op {
+                // `a-(b+c)`, `a-(b-c)` both need parens on the right.
+                BinOp::Sub => p + 1,
+                // Add/Mul/And/Or/Xor are associative: `a+(b-c)` prints as
+                // `a+b-c` only when the tree actually is left-leaning, so
+                // a right child at the same level still needs parens to
+                // preserve the tree shape exactly.
+                _ => p + 1,
+            };
+            fmt_child(rhs, rhs_min, f)
+        }
+    }
+}
+
+fn fmt_child(child: &Expr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if prec(child) < min_prec {
+        f.write_str("(")?;
+        fmt_expr(child, f)?;
+        f.write_str(")")
+    } else {
+        fmt_expr(child, f)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Formats the expression in the concrete syntax accepted by the
+    /// parser, with minimal parentheses.
+    ///
+    /// ```
+    /// use mba_expr::Expr;
+    /// let e: Expr = "((x) + ((y)*(z)))".parse().unwrap();
+    /// assert_eq!(e.to_string(), "x+y*z");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::{BinOp, Expr, UnOp};
+
+    fn rt(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[track_caller]
+    fn assert_roundtrip(e: &Expr) {
+        let printed = e.to_string();
+        let reparsed: Expr = printed.parse().unwrap_or_else(|err| {
+            panic!("printed form `{printed}` failed to parse: {err}");
+        });
+        assert_eq!(&reparsed, e, "print/parse round trip changed `{printed}`");
+    }
+
+    #[test]
+    fn drops_redundant_parens() {
+        assert_eq!(rt("((x+y))").to_string(), "x+y");
+        assert_eq!(rt("(x)+(y)").to_string(), "x+y");
+    }
+
+    #[test]
+    fn keeps_necessary_parens() {
+        assert_eq!(rt("(x+y)*z").to_string(), "(x+y)*z");
+        assert_eq!(rt("x-(y-z)").to_string(), "x-(y-z)");
+        assert_eq!(rt("x-(y+z)").to_string(), "x-(y+z)");
+        assert_eq!(rt("(x&y)+z").to_string(), "(x&y)+z");
+        assert_eq!(rt("~(x+y)").to_string(), "~(x+y)");
+        assert_eq!(rt("-(x*y)").to_string(), "-(x*y)");
+    }
+
+    #[test]
+    fn right_nested_same_level_keeps_shape() {
+        // Add(x, Add(y, z)) must not print as the left-leaning x+y+z.
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::var("x"),
+            Expr::binary(BinOp::Add, Expr::var("y"), Expr::var("z")),
+        );
+        assert_eq!(e.to_string(), "x+(y+z)");
+        assert_roundtrip(&e);
+    }
+
+    #[test]
+    fn negative_constants() {
+        assert_eq!(Expr::Const(-1).to_string(), "-1");
+        let e = Expr::binary(BinOp::Mul, Expr::Const(-2), Expr::var("x"));
+        assert_eq!(e.to_string(), "-2*x");
+        assert_roundtrip(&e);
+        let e = Expr::binary(BinOp::Sub, Expr::var("x"), Expr::Const(-5));
+        assert_roundtrip(&e);
+    }
+
+    #[test]
+    fn unary_chains_roundtrip() {
+        for src in ["~~x", "-~x", "~-x", "~(-1)", "-(x&y)"] {
+            assert_roundtrip(&rt(src));
+        }
+    }
+
+    #[test]
+    fn paper_examples_print_cleanly() {
+        assert_eq!(
+            rt("2*(x|y) - (~x&y) - (x&~y)").to_string(),
+            "2*(x|y)-(~x&y)-(x&~y)"
+        );
+        assert_eq!(
+            rt("(x ^ y) + 2*y - 2*(~x & y)").to_string(),
+            "(x^y)+2*y-2*(~x&y)"
+        );
+    }
+
+    #[test]
+    fn mixed_precedence_roundtrips() {
+        for src in [
+            "a|b^c&d+e*f",
+            "(a|b)^((c&d)+e)*f",
+            "x*y - (x&~y)*(~x&y) - (x&y)*(x|y)",
+            "~(x | ~(y & ~z))",
+            "-(-(x))",
+        ] {
+            assert_roundtrip(&rt(src));
+        }
+    }
+
+    #[test]
+    fn unary_tightness() {
+        // Unary binds tighter than `*`: Neg(x)*y prints without parens.
+        let e = Expr::binary(
+            BinOp::Mul,
+            Expr::unary(UnOp::Neg, Expr::var("x")),
+            Expr::var("y"),
+        );
+        assert_eq!(e.to_string(), "-x*y");
+        assert_roundtrip(&e);
+    }
+}

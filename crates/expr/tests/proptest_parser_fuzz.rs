@@ -1,0 +1,37 @@
+//! Parser robustness: arbitrary byte soup must never panic, and valid
+//! outputs must round-trip.
+
+use mba_expr::Expr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings either parse or error — never panic.
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,64}") {
+        let _ = input.parse::<Expr>();
+    }
+
+    /// Strings from the expression alphabet (denser in valid inputs)
+    /// also never panic, and successes print/parse stably.
+    #[test]
+    fn expression_alphabet_soup(input in "[-~ ()xyz0-9+*&|^]{0,48}") {
+        if let Ok(e) = input.parse::<Expr>() {
+            let printed = e.to_string();
+            let reparsed: Expr = printed.parse().expect("printed form parses");
+            prop_assert_eq!(reparsed.to_string(), printed);
+        }
+    }
+
+    /// Pathologically deep nesting parses without stack overflow at the
+    /// sizes the corpus can produce.
+    #[test]
+    fn deep_nesting_is_fine(depth in 1usize..200) {
+        let src = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        let e: Expr = src.parse().expect("balanced parens parse");
+        prop_assert_eq!(e, Expr::var("x"));
+        let negs = format!("{}x", "-".repeat(depth));
+        prop_assert!(negs.parse::<Expr>().is_ok());
+    }
+}

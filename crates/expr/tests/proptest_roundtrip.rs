@@ -1,0 +1,86 @@
+//! Property-based tests for the expression substrate:
+//! print/parse round-tripping and evaluator consistency.
+
+use mba_expr::{mask, BinOp, Expr, UnOp, Valuation};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary MBA expressions over {x, y, z}.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-64i128..=64).prop_map(Expr::Const),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
+            (inner, arb_unop()).prop_map(|(e, op)| Expr::unary(op, e)),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)]
+}
+
+proptest! {
+    /// Printing then parsing returns a structurally identical tree, except
+    /// that the parser folds `Neg(Const(c))` into `Const(-c)`.
+    #[test]
+    fn print_parse_roundtrip(e in arb_expr()) {
+        let normalized = mba_expr::visit::transform_bottom_up(&e, &mut |n| match n {
+            Expr::Unary(UnOp::Neg, inner) => match *inner {
+                Expr::Const(c) => Expr::Const(-c),
+                other => Expr::unary(UnOp::Neg, other),
+            },
+            other => other,
+        });
+        let printed = normalized.to_string();
+        let reparsed: Expr = printed.parse().expect("printed form must parse");
+        prop_assert_eq!(reparsed, normalized, "printed `{}`", printed);
+    }
+
+    /// Evaluation at width w equals evaluation at 64 bits masked to w:
+    /// truncation commutes with every MBA operator.
+    #[test]
+    fn eval_commutes_with_truncation(
+        e in arb_expr(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+        z in any::<u64>(),
+        w in 1u32..=63,
+    ) {
+        let v = Valuation::new().with("x", x).with("y", y).with("z", z);
+        let vm = Valuation::new()
+            .with("x", mask(x, w))
+            .with("y", mask(y, w))
+            .with("z", mask(z, w));
+        prop_assert_eq!(e.eval(&vm, w), mask(e.eval(&v, 64), w));
+    }
+
+    /// The classifier is stable under printing: classifying the reparsed
+    /// expression gives the same class.
+    #[test]
+    fn classification_stable_under_roundtrip(e in arb_expr()) {
+        let reparsed: Expr = e.to_string().parse().expect("must parse");
+        prop_assert_eq!(reparsed.mba_class(), e.mba_class());
+    }
+
+    /// Substituting a variable with itself is the identity.
+    #[test]
+    fn self_substitution_is_identity(e in arb_expr()) {
+        let x = mba_expr::Ident::new("x");
+        prop_assert_eq!(e.substitute(&x, &Expr::var("x")), e);
+    }
+}

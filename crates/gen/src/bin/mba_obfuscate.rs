@@ -1,0 +1,79 @@
+//! `mba-obfuscate`: command-line MBA obfuscation.
+//!
+//! ```text
+//! $ mba_obfuscate --kind linear --seed 7 'x + y'
+//! (x^y)+...      # an equivalent linear MBA
+//! ```
+
+use std::process::ExitCode;
+
+use mba_expr::Expr;
+use mba_gen::{ObfuscationKind, Obfuscator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() {
+    eprintln!("usage: mba_obfuscate [--kind linear|poly|non-poly] [--seed N] EXPR");
+}
+
+fn main() -> ExitCode {
+    let mut kind = ObfuscationKind::Linear;
+    let mut seed = 0u64;
+    let mut expr_text: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--kind" => {
+                let Some(value) = args.next() else {
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                kind = match value.as_str() {
+                    "linear" => ObfuscationKind::Linear,
+                    "poly" => ObfuscationKind::Polynomial,
+                    "non-poly" | "nonpoly" => ObfuscationKind::NonPolynomial,
+                    other => {
+                        eprintln!("mba_obfuscate: unknown kind `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                let Some(value) = args.next() else {
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                seed = match value.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("mba_obfuscate: malformed seed `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => expr_text = Some(other.to_string()),
+        }
+    }
+
+    let Some(text) = expr_text else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let target: Expr = match text.parse() {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("mba_obfuscate: cannot parse `{text}`: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let obfuscated = Obfuscator::new().obfuscate(&target, kind, &mut rng);
+    println!("{obfuscated}");
+    ExitCode::SUCCESS
+}

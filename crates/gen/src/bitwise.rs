@@ -1,0 +1,125 @@
+//! Seeded random pure-bitwise expression generation.
+
+use mba_expr::{BinOp, Expr, Ident, UnOp};
+use rand::Rng;
+
+/// Generates a random pure bitwise expression over `vars` with roughly
+/// `depth` levels of operators.
+///
+/// Depth 0 yields a bare (possibly negated) variable. Every variable in
+/// the result comes from `vars`; not all of `vars` need occur.
+///
+/// # Panics
+///
+/// Panics if `vars` is empty.
+pub fn random_bitwise(rng: &mut impl Rng, vars: &[Ident], depth: usize) -> Expr {
+    assert!(!vars.is_empty(), "need at least one variable");
+    if depth == 0 {
+        let v = Expr::var(vars[rng.gen_range(0..vars.len())].clone());
+        return if rng.gen_bool(0.3) {
+            Expr::unary(UnOp::Not, v)
+        } else {
+            v
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Expr::unary(UnOp::Not, random_bitwise(rng, vars, depth - 1)),
+        1 => binop(rng, BinOp::And, vars, depth),
+        2 => binop(rng, BinOp::Or, vars, depth),
+        _ => binop(rng, BinOp::Xor, vars, depth),
+    }
+}
+
+fn binop(rng: &mut impl Rng, op: BinOp, vars: &[Ident], depth: usize) -> Expr {
+    let left_depth = rng.gen_range(0..depth);
+    let right_depth = rng.gen_range(0..depth);
+    Expr::binary(
+        op,
+        random_bitwise(rng, vars, left_depth),
+        random_bitwise(rng, vars, right_depth),
+    )
+}
+
+/// Generates `count` *distinct* random bitwise expressions (distinct as
+/// trees, not necessarily as functions).
+pub fn random_bitwise_set(
+    rng: &mut impl Rng,
+    vars: &[Ident],
+    depth: usize,
+    count: usize,
+) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let e = random_bitwise(rng, vars, depth);
+        if !out.contains(&e) {
+            out.push(e);
+        }
+    }
+    // Fall back to allowing duplicates if the space is tiny (e.g. one
+    // variable at depth 0).
+    while out.len() < count {
+        out.push(random_bitwise(rng, vars, depth));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vars() -> Vec<Ident> {
+        vec![Ident::new("x"), Ident::new("y"), Ident::new("z")]
+    }
+
+    #[test]
+    fn generated_expressions_are_pure_bitwise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for depth in 0..5 {
+            for _ in 0..50 {
+                let e = random_bitwise(&mut rng, &vars(), depth);
+                assert!(e.is_pure_bitwise(), "not bitwise: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_bitwise(&mut StdRng::seed_from_u64(42), &vars(), 3);
+        let b = random_bitwise(&mut StdRng::seed_from_u64(42), &vars(), 3);
+        assert_eq!(a, b);
+        let c = random_bitwise(&mut StdRng::seed_from_u64(43), &vars(), 3);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn depth_zero_is_a_literal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let e = random_bitwise(&mut rng, &vars(), 0);
+            assert!(e.node_count() <= 2, "too big for depth 0: {e}");
+        }
+    }
+
+    #[test]
+    fn random_set_is_distinct_when_possible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = random_bitwise_set(&mut rng, &vars(), 2, 8);
+        assert_eq!(set.len(), 8);
+        for (i, a) in set.iter().enumerate() {
+            for b in &set[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_vars_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_bitwise(&mut rng, &[], 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! MBA obfuscation and evaluation-corpus generation.
+//!
+//! The paper evaluates on 3 000 MBA identity equations collected from
+//! Syntia, Eyrolles' thesis, Tigress, the Zhou et al. papers, Hacker's
+//! Delight and the HAKMEM memo — all of which generate (or catalog)
+//! identities with the *same underlying construction*: solve the
+//! truth-table nullspace system of §2.1 Example 1 to obtain a linear MBA
+//! that is identically zero, then add it to (or multiply it into) a
+//! target expression. This crate reimplements that construction:
+//!
+//! * [`bitwise`] — seeded random pure-bitwise expression generation,
+//! * [`identities`] — zero identities via [`mba_linalg`] nullspaces, and
+//!   signature-preserving linear obfuscation,
+//! * [`obfuscate`] — the linear / polynomial / non-polynomial obfuscators
+//!   (Definitions 1–2 and the recursive rewriting that produces
+//!   non-poly MBA),
+//! * [`corpus`] — the deterministic 3 × 1000 evaluation corpus with
+//!   Table 1-scale complexity.
+//!
+//! Every generated sample carries its ground truth and is verified by
+//! randomized evaluation at construction time.
+//!
+//! ```
+//! use mba_gen::obfuscate::{Obfuscator, ObfuscationKind};
+//! use mba_expr::{Expr, Valuation};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let target: Expr = "x + y".parse().unwrap();
+//! let obf = Obfuscator::new().obfuscate(&target, ObfuscationKind::Linear, &mut rng);
+//! let v = Valuation::new().with("x", 100).with("y", 23);
+//! assert_eq!(obf.eval(&v, 64), 123);
+//! assert_ne!(obf, target);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitwise;
+pub mod corpus;
+pub mod identities;
+pub mod obfuscate;
+pub mod rules;
+
+pub use corpus::{Corpus, CorpusConfig, Sample};
+pub use obfuscate::{ObfuscationKind, Obfuscator};

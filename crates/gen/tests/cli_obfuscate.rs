@@ -1,0 +1,48 @@
+//! Integration tests for the `mba_obfuscate` command-line tool.
+
+use std::process::Command;
+
+use mba_expr::{Expr, Valuation};
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mba_obfuscate"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn output_is_equivalent_to_the_input() {
+    for kind in ["linear", "poly", "non-poly"] {
+        let (ok, stdout, _) = run(&["--kind", kind, "--seed", "9", "x + y"]);
+        assert!(ok, "{kind} failed");
+        let obf: Expr = stdout.trim().parse().expect("output parses");
+        let v = Valuation::new().with("x", 1000).with("y", 234);
+        assert_eq!(obf.eval(&v, 64), 1234, "{kind}: {obf}");
+        assert_ne!(obf.to_string(), "x+y", "{kind} output is trivial");
+    }
+}
+
+#[test]
+fn seeds_are_reproducible() {
+    let (_, a, _) = run(&["--seed", "5", "x - y"]);
+    let (_, b, _) = run(&["--seed", "5", "x - y"]);
+    let (_, c, _) = run(&["--seed", "6", "x - y"]);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn rejects_bad_usage() {
+    assert!(!run(&[]).0);
+    assert!(!run(&["--kind", "mystery", "x"]).0);
+    assert!(!run(&["--seed", "NaN", "x"]).0);
+    let (ok, _, stderr) = run(&["((("]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+}

@@ -1,0 +1,44 @@
+//! Exact linear algebra over the rationals, sized for MBA work.
+//!
+//! The MBA identity construction of Zhou et al. (paper §2.1, Example 1)
+//! solves `M·C = 0` where `M` is a `2^t × k` truth-table matrix with
+//! entries in `{0, 1}` and `C` is an integer coefficient vector. The
+//! paper's prototype used NumPy; this crate provides the same operations
+//! *exactly*:
+//!
+//! * [`Rational`] — normalized `i128` fractions,
+//! * [`Matrix`] — dense rational matrices with exact Gaussian elimination
+//!   ([`Matrix::rref`]),
+//! * [`Matrix::solve`] — a particular solution of `A·x = b`,
+//! * [`Matrix::kernel`] / [`Matrix::integer_kernel`] — a basis of the
+//!   nullspace, optionally scaled to primitive integer vectors (what the
+//!   identity generator feeds back as MBA coefficients).
+//!
+//! # Example: re-deriving the paper's Example 1
+//!
+//! ```
+//! use mba_linalg::Matrix;
+//! // Columns: x, y, x^y, x|~y, -1 (truth-table rows for 00,01,10,11).
+//! let m = Matrix::from_i128_rows(&[
+//!     vec![0, 0, 0, 1, 1],
+//!     vec![0, 1, 1, 0, 1],
+//!     vec![1, 0, 1, 1, 1],
+//!     vec![1, 1, 0, 1, 1],
+//! ]);
+//! let kernel = m.integer_kernel();
+//! assert_eq!(kernel.len(), 1);
+//! // The kernel vector is (1, -1, -1, -2, 2) up to sign — exactly the
+//! // coefficients the paper derives.
+//! let v = &kernel[0];
+//! let norm: Vec<i128> = if v[0] < 0 { v.iter().map(|c| -c).collect() } else { v.clone() };
+//! assert_eq!(norm, vec![1, -1, -1, -2, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod rational;
+
+pub use matrix::Matrix;
+pub use rational::Rational;

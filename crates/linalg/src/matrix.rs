@@ -1,0 +1,391 @@
+//! Dense rational matrices with exact elimination.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::rational::Rational;
+
+/// A dense matrix of [`Rational`] entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from integer rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_i128_rows(rows: &[Vec<i128>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows
+                .iter()
+                .flat_map(|r| r.iter().map(|&v| Rational::from(v)))
+                .collect(),
+        }
+    }
+
+    /// Creates a matrix whose columns are the given integer vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths or `cols` is empty.
+    pub fn from_i128_columns(cols: &[Vec<i128>]) -> Self {
+        assert!(!cols.is_empty(), "matrix must have at least one column");
+        let rows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "all columns must have the same length"
+        );
+        let mut m = Matrix::zeros(rows, cols.len());
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = Rational::from(v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Rational]) -> Vec<Rational> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * x[j])
+                    .fold(Rational::ZERO, |acc, v| acc + v)
+            })
+            .collect()
+    }
+
+    /// Integer matrix-vector product, for truth-table × coefficient
+    /// computations (signature vectors, Definition 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec_i128(&self, x: &[i128]) -> Vec<Rational> {
+        let rx: Vec<Rational> = x.iter().map(|&v| Rational::from(v)).collect();
+        self.mul_vec(&rx)
+    }
+
+    /// Returns the reduced row echelon form together with the list of
+    /// pivot columns.
+    pub fn rref(&self) -> (Matrix, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..m.cols {
+            if row == m.rows {
+                break;
+            }
+            // Find a pivot in this column at or below `row`.
+            let Some(pivot_row) = (row..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                continue;
+            };
+            m.swap_rows(row, pivot_row);
+            let inv = m[(row, col)].recip();
+            for j in col..m.cols {
+                m[(row, j)] = m[(row, j)] * inv;
+            }
+            for r in 0..m.rows {
+                if r != row && !m[(r, col)].is_zero() {
+                    let factor = m[(r, col)];
+                    for j in col..m.cols {
+                        let delta = factor * m[(row, j)];
+                        m[(r, j)] = m[(r, j)] - delta;
+                    }
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        (m, pivots)
+    }
+
+    /// Solves `A·x = b`, returning one particular solution if the system
+    /// is consistent.
+    ///
+    /// Free variables are set to zero, so when the columns of `A` are
+    /// linearly independent the solution is unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[Rational]) -> Option<Vec<Rational>> {
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        // Build the augmented matrix [A | b].
+        let mut aug = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, self.cols)] = b[i];
+        }
+        let (r, pivots) = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = vec![Rational::ZERO; self.cols];
+        for (row, &col) in pivots.iter().enumerate() {
+            x[col] = r[(row, self.cols)];
+        }
+        Some(x)
+    }
+
+    /// Integer variant of [`Matrix::solve`]: returns the solution only if
+    /// every component is an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve_integer(&self, b: &[i128]) -> Option<Vec<i128>> {
+        let rb: Vec<Rational> = b.iter().map(|&v| Rational::from(v)).collect();
+        let x = self.solve(&rb)?;
+        x.iter().map(Rational::to_integer).collect()
+    }
+
+    /// Returns a basis of the nullspace `{x : A·x = 0}`.
+    pub fn kernel(&self) -> Vec<Vec<Rational>> {
+        let (r, pivots) = self.rref();
+        let free: Vec<usize> = (0..self.cols).filter(|c| !pivots.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &f in &free {
+            let mut v = vec![Rational::ZERO; self.cols];
+            v[f] = Rational::ONE;
+            for (row, &p) in pivots.iter().enumerate() {
+                v[p] = -r[(row, f)];
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Returns a basis of the nullspace scaled to primitive integer
+    /// vectors (components with gcd 1), the form the MBA identity
+    /// generator uses as coefficient vectors.
+    pub fn integer_kernel(&self) -> Vec<Vec<i128>> {
+        self.kernel()
+            .into_iter()
+            .map(|v| {
+                let lcm = v
+                    .iter()
+                    .map(|r| r.denom())
+                    .fold(1i128, |acc, d| acc / gcd_i128(acc, d) * d);
+                let ints: Vec<i128> = v.iter().map(|r| r.numer() * (lcm / r.denom())).collect();
+                let g = ints.iter().fold(0i128, |acc, &x| gcd_i128(acc, x)).max(1);
+                ints.into_iter().map(|x| x / g).collect()
+            })
+            .collect()
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            let row: Vec<String> = (0..self.cols).map(|j| self[(i, j)].to_string()).collect();
+            writeln!(f, "[{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn rref_identity_stays() {
+        let m = Matrix::from_i128_rows(&[vec![1, 0], vec![0, 1]]);
+        let (r2, pivots) = m.rref();
+        assert_eq!(r2, m);
+        assert_eq!(pivots, vec![0, 1]);
+    }
+
+    #[test]
+    fn solve_unique_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let m = Matrix::from_i128_rows(&[vec![1, 1], vec![1, -1]]);
+        let x = m.solve(&[r(3), r(1)]).unwrap();
+        assert_eq!(x, vec![r(2), r(1)]);
+    }
+
+    #[test]
+    fn solve_detects_inconsistency() {
+        let m = Matrix::from_i128_rows(&[vec![1, 1], vec![1, 1]]);
+        assert!(m.solve(&[r(1), r(2)]).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined_sets_free_vars_to_zero() {
+        let m = Matrix::from_i128_rows(&[vec![1, 1]]);
+        let x = m.solve(&[r(5)]).unwrap();
+        assert_eq!(x, vec![r(5), r(0)]);
+    }
+
+    #[test]
+    fn solve_integer_rejects_fractional_solutions() {
+        // 2x = 1 has the rational solution 1/2 but no integer solution.
+        let m = Matrix::from_i128_rows(&[vec![2]]);
+        assert_eq!(m.solve_integer(&[1]), None);
+        assert_eq!(m.solve_integer(&[4]), Some(vec![2]));
+    }
+
+    #[test]
+    fn kernel_of_full_rank_matrix_is_empty() {
+        let m = Matrix::from_i128_rows(&[vec![1, 0], vec![0, 1]]);
+        assert!(m.kernel().is_empty());
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn kernel_vectors_satisfy_ax_eq_zero() {
+        let m = Matrix::from_i128_rows(&[vec![1, 2, 3], vec![2, 4, 6]]);
+        let basis = m.kernel();
+        assert_eq!(basis.len(), 2);
+        assert_eq!(m.rank(), 1);
+        for v in &basis {
+            let product = m.mul_vec(v);
+            assert!(product.iter().all(Rational::is_zero));
+        }
+    }
+
+    #[test]
+    fn integer_kernel_is_primitive() {
+        let m = Matrix::from_i128_rows(&[vec![2, -4]]);
+        let basis = m.integer_kernel();
+        assert_eq!(basis, vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn integer_kernel_clears_denominators() {
+        // Kernel of [3, 1] is spanned by (1, -3) — via rref the free
+        // column gives (-1/3, 1) which must be scaled to integers.
+        let m = Matrix::from_i128_rows(&[vec![3, 1]]);
+        let basis = m.integer_kernel();
+        assert_eq!(basis.len(), 1);
+        let v = &basis[0];
+        assert_eq!(v[0].abs(), 1);
+        assert_eq!(v[1].abs(), 3);
+        assert_eq!(3 * v[0] + v[1], 0);
+    }
+
+    #[test]
+    fn paper_example_1_kernel() {
+        // Truth table of Example 1: columns x, y, x^y, x|~y, -1.
+        let m = Matrix::from_i128_rows(&[
+            vec![0, 0, 0, 1, 1],
+            vec![0, 1, 1, 0, 1],
+            vec![1, 0, 1, 1, 1],
+            vec![1, 1, 0, 1, 1],
+        ]);
+        let basis = m.integer_kernel();
+        assert_eq!(basis.len(), 1);
+        let mut v = basis[0].clone();
+        if v[0] < 0 {
+            v.iter_mut().for_each(|c| *c = -*c);
+        }
+        assert_eq!(v, vec![1, -1, -1, -2, 2]);
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows_transposed() {
+        let m1 = Matrix::from_i128_columns(&[vec![1, 2], vec![3, 4]]);
+        let m2 = Matrix::from_i128_rows(&[vec![1, 3], vec![2, 4]]);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_i128_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.mul_vec_i128(&[1, 1]), vec![r(3), r(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_dimension_mismatch_panics() {
+        Matrix::zeros(2, 2).mul_vec(&[Rational::ONE]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = Matrix::zeros(1, 2).to_string();
+        assert_eq!(text.trim(), "[0, 0]");
+    }
+}

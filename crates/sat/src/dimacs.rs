@@ -1,0 +1,130 @@
+//! DIMACS CNF interchange.
+//!
+//! Lets the CDCL core consume standard benchmark files and lets the
+//! bit-blaster's output be inspected with external tools — the usual
+//! debugging workflow for SAT-backed solvers.
+
+use std::fmt::Write as _;
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// Serializes `clauses` over `num_vars` variables in DIMACS CNF format
+/// (1-based, negative = negated, zero-terminated lines).
+///
+/// ```
+/// use mba_sat::{dimacs, Lit};
+/// let text = dimacs::to_dimacs(2, &[vec![Lit::positive(0), Lit::negative(1)]]);
+/// assert_eq!(text, "p cnf 2 1\n1 -2 0\n");
+/// ```
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for clause in clauses {
+        for &l in clause {
+            let v = l.var() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_positive() { v } else { -v });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses a DIMACS CNF document into a ready-to-solve [`Solver`] plus
+/// the variable list (index `i` holds DIMACS variable `i+1`).
+///
+/// Comments (`c ...`) and the `p cnf` header are accepted; clauses may
+/// span lines. Variables beyond the header count are allocated on
+/// demand.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed token.
+///
+/// ```
+/// use mba_sat::{dimacs, SolveResult};
+/// let (mut solver, _) = dimacs::parse("c example\np cnf 2 2\n1 2 0\n-1 0\n")?;
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// # Ok::<(), String>(())
+/// ```
+pub fn parse(text: &str) -> Result<(Solver, Vec<crate::lit::Var>), String> {
+    let mut solver = Solver::new();
+    let mut vars: Vec<crate::lit::Var> = Vec::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    let ensure_var = |vars: &mut Vec<crate::lit::Var>, solver: &mut Solver, index: usize| {
+        while vars.len() <= index {
+            vars.push(solver.new_var());
+        }
+        vars[index]
+    };
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for token in line.split_ascii_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| format!("malformed DIMACS literal `{token}`"))?;
+            if value == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+            } else {
+                let index = (value.unsigned_abs() - 1) as usize;
+                let var = ensure_var(&mut vars, &mut solver, index);
+                clause.push(Lit::new(var, value > 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok((solver, vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn roundtrip_simple_formula() {
+        let clauses = vec![
+            vec![Lit::positive(0), Lit::positive(1)],
+            vec![Lit::negative(0)],
+        ];
+        let text = to_dimacs(2, &clauses);
+        let (mut solver, vars) = parse(&text).unwrap();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.value(vars[0]), Some(false));
+        assert_eq!(solver.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 2\n3 0\n-1 -2 -3 0\n";
+        let (mut solver, _) = parse(text).unwrap();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn detects_unsat_instances() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let (mut solver, _) = parse(text).unwrap();
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("p cnf 1 1\n1 x 0\n").is_err());
+    }
+
+    #[test]
+    fn allocates_variables_beyond_header() {
+        // Header claims 1 var, clause mentions var 5.
+        let (mut solver, vars) = parse("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(vars.len(), 5);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,102 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity, encoded as `var·2 + sign`
+/// (sign bit 1 = negated), the MiniSat convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense index (`var·2 + sign`), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::index`].
+    pub fn from_index(index: usize) -> Lit {
+        Lit(index as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var())
+        } else {
+            write!(f, "~v{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_and_var_roundtrip() {
+        let p = Lit::positive(7);
+        let n = Lit::negative(7);
+        assert_eq!(p.var(), 7);
+        assert_eq!(n.var(), 7);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::new(3, true), Lit::positive(3));
+        assert_eq!(Lit::new(3, false), Lit::negative(3));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..16 {
+            assert_eq!(Lit::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Lit::positive(2).to_string(), "v2");
+        assert_eq!(Lit::negative(2).to_string(), "~v2");
+    }
+}

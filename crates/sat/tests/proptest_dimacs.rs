@@ -1,0 +1,51 @@
+//! DIMACS round-trip properties.
+
+use mba_sat::{dimacs, Lit, SolveResult, Solver};
+use proptest::prelude::*;
+
+type Cnf = Vec<Vec<(usize, bool)>>;
+
+fn arb_cnf() -> impl Strategy<Value = (usize, Cnf)> {
+    (1usize..=8).prop_flat_map(|n| {
+        let clause = proptest::collection::vec((0..n, any::<bool>()), 1..=3);
+        proptest::collection::vec(clause, 0..=16).prop_map(move |cnf| (n, cnf))
+    })
+}
+
+fn solve_direct(n: usize, cnf: &Cnf) -> SolveResult {
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+    for clause in cnf {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, p)| Lit::new(vars[v], p)).collect();
+        s.add_clause(&lits);
+    }
+    s.solve()
+}
+
+proptest! {
+    /// Serializing to DIMACS and parsing back yields an equisatisfiable
+    /// solver.
+    #[test]
+    fn dimacs_roundtrip_preserves_satisfiability((n, cnf) in arb_cnf()) {
+        let direct = solve_direct(n, &cnf);
+
+        let clauses: Vec<Vec<Lit>> = cnf
+            .iter()
+            .map(|c| c.iter().map(|&(v, p)| Lit::new(v as u32, p)).collect())
+            .collect();
+        let text = dimacs::to_dimacs(n, &clauses);
+        let (mut reparsed, _) = dimacs::parse(&text).expect("roundtrip parses");
+        prop_assert_eq!(reparsed.solve(), direct, "dimacs:\n{}", text);
+    }
+
+    /// The textual form always re-parses, whatever the shape.
+    #[test]
+    fn emitted_dimacs_always_parses((n, cnf) in arb_cnf()) {
+        let clauses: Vec<Vec<Lit>> = cnf
+            .iter()
+            .map(|c| c.iter().map(|&(v, p)| Lit::new(v as u32, p)).collect())
+            .collect();
+        let text = dimacs::to_dimacs(n, &clauses);
+        prop_assert!(dimacs::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Assembling linear combinations of bitwise expressions into tidy MBA
+//! expression trees.
+
+use mba_expr::{BinOp, Expr, Ident, UnOp};
+
+/// Builds the left-leaning conjunction of `vars`; the empty chain is the
+/// all-ones constant `-1` (the bitwise tautology).
+pub(crate) fn and_chain(vars: &[&Ident]) -> Expr {
+    let mut iter = vars.iter();
+    let Some(first) = iter.next() else {
+        return Expr::minus_one();
+    };
+    iter.fold(Expr::var((*first).clone()), |acc, v| {
+        Expr::binary(BinOp::And, acc, Expr::var((*v).clone()))
+    })
+}
+
+/// Builds `Σ cᵢ·eᵢ` as a readable expression: zero terms are dropped,
+/// unit coefficients print bare, negative coefficients become
+/// subtractions, constant factors fold, and an empty (or all-zero) sum is
+/// the constant 0.
+///
+/// ```
+/// use mba_expr::Expr;
+/// use mba_sig::linear_combination;
+/// let x: Expr = "x".parse().unwrap();
+/// let xy: Expr = "x&y".parse().unwrap();
+/// let e = linear_combination(&[(1, x), (-2, xy), (3, Expr::minus_one())]);
+/// assert_eq!(e.to_string(), "x-2*(x&y)-3");
+/// ```
+pub fn linear_combination(terms: &[(i128, Expr)]) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for (coef, factor) in terms {
+        // Fold constant factors into the coefficient.
+        let (coef, factor) = match factor {
+            Expr::Const(k) => (coef.wrapping_mul(*k), None),
+            other => (*coef, Some(other)),
+        };
+        if coef == 0 {
+            continue;
+        }
+        acc = Some(match acc {
+            None => head_term(coef, factor),
+            Some(prev) => {
+                if coef > 0 {
+                    Expr::binary(BinOp::Add, prev, tail_term(coef, factor))
+                } else {
+                    Expr::binary(BinOp::Sub, prev, tail_term(-coef, factor))
+                }
+            }
+        });
+    }
+    acc.unwrap_or_else(Expr::zero)
+}
+
+/// First term of the sum; carries its own sign.
+fn head_term(coef: i128, factor: Option<&Expr>) -> Expr {
+    match factor {
+        None => Expr::Const(coef),
+        Some(e) => match coef {
+            1 => e.clone(),
+            -1 => Expr::unary(UnOp::Neg, e.clone()),
+            c => Expr::binary(BinOp::Mul, Expr::Const(c), e.clone()),
+        },
+    }
+}
+
+/// Subsequent term; the sign is carried by the surrounding `+`/`-`, so
+/// `coef` is positive here.
+fn tail_term(coef: i128, factor: Option<&Expr>) -> Expr {
+    debug_assert!(coef > 0);
+    match factor {
+        None => Expr::Const(coef),
+        Some(e) => match coef {
+            1 => e.clone(),
+            c => Expr::binary(BinOp::Mul, Expr::Const(c), e.clone()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mba_expr::Valuation;
+
+    fn x() -> Expr {
+        Expr::var("x")
+    }
+
+    fn xy() -> Expr {
+        "x&y".parse().unwrap()
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(linear_combination(&[]), Expr::zero());
+        assert_eq!(linear_combination(&[(0, x())]), Expr::zero());
+    }
+
+    #[test]
+    fn unit_coefficients_print_bare() {
+        assert_eq!(linear_combination(&[(1, x())]).to_string(), "x");
+        assert_eq!(linear_combination(&[(-1, x())]).to_string(), "-x");
+    }
+
+    #[test]
+    fn signs_become_subtractions() {
+        let e = linear_combination(&[(2, x()), (-1, xy())]);
+        assert_eq!(e.to_string(), "2*x-(x&y)");
+    }
+
+    #[test]
+    fn constant_factors_fold() {
+        // 3·(−1) = −3, and it must render as a subtraction.
+        let e = linear_combination(&[(1, x()), (3, Expr::minus_one())]);
+        assert_eq!(e.to_string(), "x-3");
+        // A leading constant keeps its sign inline.
+        let e = linear_combination(&[(2, Expr::minus_one()), (1, x())]);
+        assert_eq!(e.to_string(), "-2+x");
+    }
+
+    #[test]
+    fn result_evaluates_correctly() {
+        let e = linear_combination(&[(3, x()), (-2, xy()), (5, Expr::minus_one())]);
+        let v = Valuation::new().with("x", 7).with("y", 3);
+        // 3*7 - 2*(7&3) - 5 = 21 - 6 - 5 = 10.
+        assert_eq!(e.eval(&v, 64), 10);
+    }
+
+    #[test]
+    fn and_chain_shapes() {
+        let x = Ident::new("x");
+        let y = Ident::new("y");
+        let z = Ident::new("z");
+        assert_eq!(and_chain(&[]), Expr::minus_one());
+        assert_eq!(and_chain(&[&x]).to_string(), "x");
+        assert_eq!(and_chain(&[&x, &y, &z]).to_string(), "x&y&z");
+    }
+}

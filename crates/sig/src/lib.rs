@@ -1,0 +1,43 @@
+//! Truth tables, signature vectors, and normalized bases — the
+//! mathematical core behind MBA-Solver (paper §4.1–§4.3).
+//!
+//! A *signature vector* (Definition 3) is `s = M·v` where `M` is the
+//! truth-table matrix of a linear MBA expression's bitwise terms and `v`
+//! its coefficient vector. Theorem 1 shows two linear MBA expressions are
+//! equivalent iff their signature vectors are equal, so the signature is a
+//! canonical semantic key.
+//!
+//! This crate computes signatures ([`SignatureVector`]), re-expresses them
+//! in the *normalized basis* `{−1} ∪ {∧S : ∅ ≠ S ⊆ vars}` via exact
+//! Möbius inversion ([`SignatureVector::normalized_coefficients`],
+//! generalizing the paper's Table 4 beyond two variables), renders the
+//! result as a low-alternation expression
+//! ([`SignatureVector::to_normalized_expr`]), and hosts the pre-computed
+//! two-variable simplification table (Table 5) plus the minimal boolean
+//! expression catalog used by the final-step optimization (§4.5).
+//!
+//! # Example: the paper's running example (§4.1–§4.3)
+//!
+//! ```
+//! use mba_expr::Expr;
+//! use mba_sig::SignatureVector;
+//!
+//! let e: Expr = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
+//! let vars: Vec<_> = e.vars().into_iter().collect();
+//! let sig = SignatureVector::of_linear(&e, &vars).expect("linear MBA");
+//! assert_eq!(sig.components(), [0, 1, 1, 2]);
+//! assert_eq!(sig.to_normalized_expr(&vars).to_string(), "x+y");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod basis;
+pub mod catalog;
+mod signature;
+pub mod table;
+mod truth;
+
+pub use basis::linear_combination;
+pub use signature::{NotLinearError, SignatureVector};
+pub use truth::{NotBitwiseError, TruthTable};

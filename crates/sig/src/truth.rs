@@ -1,0 +1,301 @@
+//! Truth tables of pure bitwise expressions.
+//!
+//! MBA identities work bit-slice by bit-slice: a pure bitwise expression
+//! over `t` variables is fully described by its value on the `2^t`
+//! boolean assignments, and the integer value of the expression on `w`-bit
+//! words is the per-bit application of that boolean function. This module
+//! extracts those boolean vectors.
+//!
+//! **Row convention.** Rows are indexed `0 .. 2^t` and follow the paper's
+//! tables: the *first* variable in the `vars` slice is the most
+//! significant bit of the row index, so for `vars = [x, y]` the rows are
+//! `(x,y) = (0,0), (0,1), (1,0), (1,1)`.
+
+use std::fmt;
+
+use mba_expr::{Expr, Ident};
+
+/// Error returned when a truth table is requested for an expression that
+/// is not pure bitwise, or whose variables are not covered by the
+/// requested variable order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotBitwiseError {
+    detail: String,
+}
+
+impl fmt::Display for NotBitwiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression has no truth table: {}", self.detail)
+    }
+}
+
+impl std::error::Error for NotBitwiseError {}
+
+/// The truth table of a pure bitwise expression over an ordered variable
+/// list.
+///
+/// ```
+/// use mba_expr::{Expr, Ident};
+/// use mba_sig::TruthTable;
+///
+/// let e: Expr = "x | ~y".parse().unwrap();
+/// let vars = [Ident::new("x"), Ident::new("y")];
+/// let tt = TruthTable::of(&e, &vars).unwrap();
+/// // Rows (x,y) = 00, 01, 10, 11 — matching the paper's Example 1 column.
+/// assert_eq!(tt.rows(), [true, false, true, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    /// Row `r`'s boolean value lives in bit `r % 64` of block `r / 64`.
+    blocks: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Maximum supported variable count (`2^12 = 4096` rows). The
+    /// paper's prototype normalizes at most a handful of variables;
+    /// block storage lifts that to 12 — expressions wider than this are
+    /// kept opaque by the simplifier.
+    pub const MAX_VARS: usize = 12;
+
+    /// Variable count up to which the table fits one `u64` and
+    /// [`TruthTable::bits`] / [`TruthTable::from_bits`] are available.
+    pub const PACKED_MAX_VARS: usize = 6;
+
+    /// Computes the truth table of `e` over `vars`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `e` is not pure bitwise, mentions a variable outside
+    /// `vars`, or `vars` has more than [`TruthTable::MAX_VARS`] entries
+    /// (or duplicates).
+    pub fn of(e: &Expr, vars: &[Ident]) -> Result<TruthTable, NotBitwiseError> {
+        if vars.len() > Self::MAX_VARS {
+            return Err(NotBitwiseError {
+                detail: format!("{} variables exceed the maximum of {}", vars.len(), Self::MAX_VARS),
+            });
+        }
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(NotBitwiseError {
+                    detail: format!("duplicate variable `{v}` in order"),
+                });
+            }
+        }
+        if !e.is_pure_bitwise() {
+            return Err(NotBitwiseError {
+                detail: format!("`{e}` contains arithmetic operators or non-uniform constants"),
+            });
+        }
+        if let Some(stray) = e.vars().iter().find(|v| !vars.contains(v)) {
+            return Err(NotBitwiseError {
+                detail: format!("variable `{stray}` not in the provided order"),
+            });
+        }
+        let t = vars.len();
+        let rows = 1usize << t;
+        let mut blocks = vec![0u64; rows.div_ceil(64)];
+        for row in 0..rows {
+            let mut valuation = mba_expr::Valuation::new();
+            for (j, var) in vars.iter().enumerate() {
+                let bit = ((row >> (t - 1 - j)) & 1) as u64;
+                valuation.set(var.clone(), bit);
+            }
+            if e.eval(&valuation, 1) == 1 {
+                blocks[row / 64] |= 1 << (row % 64);
+            }
+        }
+        Ok(TruthTable {
+            num_vars: t,
+            blocks,
+        })
+    }
+
+    /// Builds a truth table directly from a row bitmask (row `r` true iff
+    /// bit `r` of `bits` is set). Only available for tables that fit one
+    /// `u64` ([`TruthTable::PACKED_MAX_VARS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > PACKED_MAX_VARS` or `bits` has bits set
+    /// beyond row `2^num_vars - 1`.
+    pub fn from_bits(num_vars: usize, bits: u64) -> TruthTable {
+        assert!(num_vars <= Self::PACKED_MAX_VARS, "too many variables");
+        let rows = 1u64 << num_vars;
+        if rows < 64 {
+            assert!(bits < (1u64 << rows), "bits outside table range");
+        }
+        TruthTable {
+            num_vars,
+            blocks: vec![bits],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of rows (`2^num_vars`).
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// The row bitmask (row `r` in bit `r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table has more than 64 rows; use
+    /// [`TruthTable::row`] for wide tables.
+    pub fn bits(&self) -> u64 {
+        assert!(
+            self.num_vars <= Self::PACKED_MAX_VARS,
+            "table too wide for a packed bitmask"
+        );
+        self.blocks[0]
+    }
+
+    /// The boolean value at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.num_rows()`.
+    pub fn row(&self, row: usize) -> bool {
+        assert!(row < self.num_rows(), "row out of range");
+        (self.blocks[row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// All rows as booleans, row 0 first.
+    pub fn rows(&self) -> Vec<bool> {
+        (0..self.num_rows()).map(|r| self.row(r)).collect()
+    }
+
+    /// The table as a 0/1 integer column — one column of the paper's
+    /// matrix `M`.
+    pub fn column(&self) -> Vec<i128> {
+        (0..self.num_rows()).map(|r| i128::from(self.row(r))).collect()
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<String> = self.column().iter().map(i128::to_string).collect();
+        write!(f, "({})", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars2() -> Vec<Ident> {
+        vec![Ident::new("x"), Ident::new("y")]
+    }
+
+    fn tt(src: &str) -> TruthTable {
+        TruthTable::of(&src.parse().unwrap(), &vars2()).unwrap()
+    }
+
+    #[test]
+    fn basic_tables_match_paper_example_1() {
+        assert_eq!(tt("x").column(), [0, 0, 1, 1]);
+        assert_eq!(tt("y").column(), [0, 1, 0, 1]);
+        assert_eq!(tt("x ^ y").column(), [0, 1, 1, 0]);
+        assert_eq!(tt("x | ~y").column(), [1, 0, 1, 1]);
+        assert_eq!(tt("-1").column(), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn table_3_base_vectors() {
+        assert_eq!(tt("~x & ~y").column(), [1, 0, 0, 0]);
+        assert_eq!(tt("~x & y").column(), [0, 1, 0, 0]);
+        assert_eq!(tt("x & ~y").column(), [0, 0, 1, 0]);
+        assert_eq!(tt("x & y").column(), [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(tt("0").column(), [0, 0, 0, 0]);
+        assert_eq!(tt("x & 0").column(), [0, 0, 0, 0]);
+        assert_eq!(tt("x | -1").column(), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_variable_table() {
+        let vars = [Ident::new("x")];
+        let t = TruthTable::of(&"~x".parse().unwrap(), &vars).unwrap();
+        assert_eq!(t.column(), [1, 0]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn three_variable_majority() {
+        let vars = [Ident::new("x"), Ident::new("y"), Ident::new("z")];
+        let e: Expr = "(x&y) | (y&z) | (x&z)".parse().unwrap();
+        let t = TruthTable::of(&e, &vars).unwrap();
+        // Rows xyz = 000,001,010,011,100,101,110,111.
+        assert_eq!(t.column(), [0, 0, 0, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_arithmetic() {
+        let err = TruthTable::of(&"x + y".parse().unwrap(), &vars2()).unwrap_err();
+        assert!(err.to_string().contains("no truth table"));
+        assert!(TruthTable::of(&"x & 3".parse().unwrap(), &vars2()).is_err());
+    }
+
+    #[test]
+    fn rejects_stray_variable() {
+        assert!(TruthTable::of(&"x & z".parse().unwrap(), &vars2()).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_vars() {
+        let dup = [Ident::new("x"), Ident::new("x")];
+        assert!(TruthTable::of(&"x".parse().unwrap(), &dup).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_vars() {
+        let many: Vec<Ident> = (0..13).map(|i| Ident::new(format!("v{i}"))).collect();
+        assert!(TruthTable::of(&"v0".parse().unwrap(), &many).is_err());
+    }
+
+    #[test]
+    fn wide_tables_use_block_storage() {
+        // 8 variables: 256 rows, 4 blocks.
+        let vars: Vec<Ident> = (0..8).map(|i| Ident::new(format!("v{i}"))).collect();
+        let conj = vars[1..]
+            .iter()
+            .fold("v0".parse::<Expr>().unwrap(), |acc, v| {
+                acc & Expr::var(v.clone())
+            });
+        let t = TruthTable::of(&conj, &vars).unwrap();
+        assert_eq!(t.num_rows(), 256);
+        // Only the all-ones row is true.
+        assert!(t.row(255));
+        assert_eq!((0..256).filter(|&r| t.row(r)).count(), 1);
+        // Packed access must refuse.
+        let result = std::panic::catch_unwind(|| t.bits());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let t = TruthTable::from_bits(2, 0b0110);
+        assert_eq!(t.column(), [0, 1, 1, 0]);
+        assert_eq!(t, tt("x ^ y"));
+        assert_eq!(t.bits(), 0b0110);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits outside table range")]
+    fn from_bits_rejects_extra_bits() {
+        TruthTable::from_bits(1, 0b100);
+    }
+
+    #[test]
+    fn display_shows_rows() {
+        assert_eq!(tt("x & y").to_string(), "(0,0,0,1)");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for Theorem 1's machinery: normalization preserves
+//! semantics and signatures are canonical.
+
+use mba_expr::{Expr, Ident, Valuation};
+use mba_sig::SignatureVector;
+use proptest::prelude::*;
+
+/// Random pure bitwise expressions over {x, y}.
+fn arb_bitwise2() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+        Just(Expr::zero()),
+        Just(Expr::minus_one()),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a & b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a | b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a ^ b),
+            inner.prop_map(|e| !e),
+        ]
+    })
+}
+
+/// Random linear MBA over {x, y}: a signed combination of bitwise terms
+/// plus a constant.
+fn arb_linear2() -> impl Strategy<Value = Expr> {
+    (
+        proptest::collection::vec((-20i128..=20, arb_bitwise2()), 1..5),
+        -30i128..=30,
+    )
+        .prop_map(|(terms, konst)| {
+            let mut all: Vec<(i128, Expr)> = terms;
+            all.push((konst, Expr::one()));
+            mba_sig::linear_combination(&all)
+        })
+}
+
+fn vars2() -> Vec<Ident> {
+    vec![Ident::new("x"), Ident::new("y")]
+}
+
+proptest! {
+    /// The normalized expression is semantically identical to the input
+    /// on random 64-bit inputs at several widths.
+    #[test]
+    fn normalization_preserves_semantics(
+        e in arb_linear2(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let vars = vars2();
+        let sig = SignatureVector::of_linear(&e, &vars).expect("linear by construction");
+        let normalized = sig.to_normalized_expr(&vars);
+        let v = Valuation::new().with("x", x).with("y", y);
+        for w in [1u32, 7, 8, 16, 32, 64] {
+            prop_assert_eq!(
+                e.eval(&v, w),
+                normalized.eval(&v, w),
+                "width {} on `{}` -> `{}`", w, e, normalized
+            );
+        }
+    }
+
+    /// Signatures are canonical: the normalized expression has the same
+    /// signature as the original (Theorem 1, both directions).
+    #[test]
+    fn signature_is_invariant_under_normalization(e in arb_linear2()) {
+        let vars = vars2();
+        let sig = SignatureVector::of_linear(&e, &vars).expect("linear");
+        let normalized = sig.to_normalized_expr(&vars);
+        let sig2 = SignatureVector::of_linear(&normalized, &vars).expect("still linear");
+        prop_assert_eq!(sig, sig2);
+    }
+
+    /// Normalization never increases MBA alternation beyond the input's
+    /// (the whole point of §4.3).
+    #[test]
+    fn normalization_never_uses_foreign_operators(e in arb_linear2()) {
+        let vars = vars2();
+        let sig = SignatureVector::of_linear(&e, &vars).expect("linear");
+        let text = sig.to_normalized_expr(&vars).to_string();
+        prop_assert!(!text.contains('|'));
+        prop_assert!(!text.contains('^'));
+        prop_assert!(!text.contains('~'));
+    }
+
+    /// Möbius inversion agrees with the generic linear solve against the
+    /// same basis.
+    #[test]
+    fn moebius_matches_generic_solve(e in arb_linear2()) {
+        let vars = vars2();
+        let sig = SignatureVector::of_linear(&e, &vars).expect("linear");
+        let basis: Vec<Expr> = ["x&y", "y", "x", "-1"]
+            .iter().map(|s| s.parse().unwrap()).collect();
+        let solved = sig
+            .solve_in_basis(&basis, &vars)
+            .expect("basis is bitwise")
+            .expect("unimodular basis always solves");
+        let moebius = sig.normalized_coefficients();
+        // Basis order above: x&y = mask 0b11, y = 0b01, x = 0b10, −1 = 0.
+        prop_assert_eq!(solved, vec![moebius[0b11], moebius[0b01], moebius[0b10], moebius[0]]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Differential testing of the SMT pipeline: at 4 bits with two
+//! variables, equivalence is brute-forcible (256 input pairs), so every
+//! verdict can be checked exactly — across all three solver profiles.
+
+use mba_expr::{Expr, Valuation};
+use mba_smt::{CheckOutcome, SmtSolver, SolverProfile};
+use proptest::prelude::*;
+
+const WIDTH: u32 = 4;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        2 => prop_oneof![Just("x"), Just("y")].prop_map(Expr::var),
+        1 => (-4i128..=4).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a & b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a | b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a ^ b),
+            inner.clone().prop_map(|e| !e),
+            inner.prop_map(|e| -e),
+        ]
+    })
+}
+
+fn brute_force_equivalent(a: &Expr, b: &Expr) -> bool {
+    for x in 0..(1u64 << WIDTH) {
+        for y in 0..(1u64 << WIDTH) {
+            let v = Valuation::new().with("x", x).with("y", y);
+            if a.eval(&v, WIDTH) != b.eval(&v, WIDTH) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every profile's verdict matches brute force, and counterexamples
+    /// are genuine witnesses.
+    #[test]
+    fn verdicts_match_brute_force(a in arb_expr(), b in arb_expr()) {
+        let expected = brute_force_equivalent(&a, &b);
+        for profile in SolverProfile::all() {
+            let solver = SmtSolver::new(profile.clone());
+            let result = solver.check_equivalence(&a, &b, WIDTH, None);
+            match &result.outcome {
+                CheckOutcome::Equivalent => {
+                    prop_assert!(expected, "{}: false Equivalent for `{}` vs `{}`",
+                                 profile.name, a, b);
+                }
+                CheckOutcome::NotEquivalent(cex) => {
+                    prop_assert!(!expected, "{}: false NotEquivalent for `{}` vs `{}`",
+                                 profile.name, a, b);
+                    let v = cex.to_valuation();
+                    prop_assert_ne!(a.eval(&v, WIDTH), b.eval(&v, WIDTH),
+                                    "{}: bogus witness {}", profile.name, cex);
+                }
+                CheckOutcome::Timeout => {
+                    return Err(TestCaseError::fail("unexpected timeout without budget"));
+                }
+            }
+        }
+    }
+
+    /// Rewriting-only verdicts (no SAT search) are always correct.
+    #[test]
+    fn rewrite_shortcuts_are_sound(a in arb_expr()) {
+        // a vs a must close by rewriting alone for every profile.
+        for profile in SolverProfile::all() {
+            let solver = SmtSolver::new(profile.clone());
+            let r = solver.check_equivalence(&a, &a, WIDTH, None);
+            prop_assert_eq!(&r.outcome, &CheckOutcome::Equivalent);
+            prop_assert!(r.solved_by_rewriting);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the MBA-Solver reproduction.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`expr`] — MBA expression AST, parser, printer, evaluator, metrics.
+//! * [`linalg`] — exact rational linear algebra.
+//! * [`sig`] — truth tables, signature vectors, normalized bases.
+//! * [`solver`] — the MBA-Solver simplification algorithm (the paper's
+//!   core contribution).
+//! * [`gen`] — the MBA obfuscator and evaluation-corpus generator.
+//! * [`sat`] — the CDCL SAT solver substrate.
+//! * [`smt`] — the bit-vector SMT layer with Z3/STP/Boolector-style
+//!   profiles.
+//! * [`baselines`] — SSPAM-like and Syntia-like peer tools.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use mba_baselines as baselines;
+pub use mba_expr as expr;
+pub use mba_gen as gen;
+pub use mba_linalg as linalg;
+pub use mba_sat as sat;
+pub use mba_sig as sig;
+pub use mba_smt as smt;
+pub use mba_solver as solver;

@@ -1,0 +1,86 @@
+//! Workspace-level property tests: the obfuscate→simplify→check chain
+//! holds for arbitrary generated targets and seeds.
+
+use mba::expr::{Expr, Valuation};
+use mba::gen::{ObfuscationKind, Obfuscator};
+use mba::solver::Simplifier;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random *simple* targets (the kind obfuscators protect).
+fn arb_target() -> impl Strategy<Value = Expr> {
+    let var = prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var);
+    prop_oneof![
+        (var.clone(), var.clone()).prop_map(|(a, b)| a + b),
+        (var.clone(), var.clone()).prop_map(|(a, b)| a - b),
+        (var.clone(), var.clone()).prop_map(|(a, b)| a ^ b),
+        (var.clone(), var.clone()).prop_map(|(a, b)| a & b),
+        (var.clone(), var.clone()).prop_map(|(a, b)| a | b),
+        (var.clone(), var.clone()).prop_map(|(a, b)| a * b),
+        ((-9i128..=9), var.clone()).prop_map(|(c, v)| Expr::constant(c) + v),
+        var,
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = ObfuscationKind> {
+    prop_oneof![
+        Just(ObfuscationKind::Linear),
+        Just(ObfuscationKind::Polynomial),
+        Just(ObfuscationKind::NonPolynomial),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Obfuscation preserves semantics, simplification preserves
+    /// semantics, and the composition ends near the target.
+    #[test]
+    fn full_chain_preserves_semantics(
+        target in arb_target(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+        z in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obfuscated = Obfuscator::new().obfuscate(&target, kind, &mut rng);
+        let recovered = Simplifier::new().simplify(&obfuscated);
+
+        let v = Valuation::new().with("x", x).with("y", y).with("z", z);
+        for w in [8u32, 32, 64] {
+            let want = target.eval(&v, w);
+            prop_assert_eq!(obfuscated.eval(&v, w), want,
+                "obfuscation changed `{}` at width {}", target, w);
+            prop_assert_eq!(recovered.eval(&v, w), want,
+                "simplification changed `{}` -> `{}` at width {}",
+                obfuscated, recovered, w);
+        }
+    }
+
+    /// The recovered form is never more complex than the obfuscation.
+    #[test]
+    fn recovery_reduces_alternation(
+        target in arb_target(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obfuscated = Obfuscator::new().obfuscate(&target, kind, &mut rng);
+        let simplifier = Simplifier::new();
+        let d = simplifier.simplify_detailed(&obfuscated);
+        prop_assert!(
+            d.output_metrics.alternation <= d.input_metrics.alternation,
+            "alternation grew on `{}`", obfuscated
+        );
+        // For obfuscations of these simple targets the certificate must
+        // close the loop completely.
+        prop_assert_eq!(
+            simplifier.proves_equivalent(&d.output, &target),
+            Some(true),
+            "`{}` not recovered from `{}`", target, d.output
+        );
+    }
+}
