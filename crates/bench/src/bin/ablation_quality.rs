@@ -7,10 +7,10 @@
 //! Complements the Criterion `ablation` bench (which measures time
 //! only) with the quality dimension DESIGN.md calls out.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig, Verdict};
-use mba_expr::metrics::alternation;
+use mba_bench::{report, report::BenchReport, runner::EquivalenceTask, ExperimentConfig, Verdict};
+use mba_expr::{metrics::alternation, Expr};
 use mba_gen::{Corpus, CorpusConfig};
 use mba_smt::SolverProfile;
 use mba_solver::{Basis, Simplifier, SimplifyConfig};
@@ -50,19 +50,27 @@ fn main() {
     ];
 
     println!(
-        "{:<20} {:>12} {:>12} {:>12} {:>14}",
-        "variant", "avg alt", "avg length", "time (ms)", "solved fast %"
+        "{:<20} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "variant", "avg alt", "avg length", "time (ms)", "cache hit %", "solved fast %"
     );
 
+    let inputs: Vec<Expr> = corpus
+        .samples()
+        .iter()
+        .map(|s| s.obfuscated.clone())
+        .collect();
+    let mut telemetry = BenchReport::new("ablation");
+    telemetry
+        .push_int("samples", corpus.len() as u64)
+        .push_int("jobs", config.jobs as u64);
     for (name, cfg) in variants {
-        let simplifier = Simplifier::with_config(cfg);
-        let start = Instant::now();
-        let outputs: Vec<_> = corpus
-            .samples()
-            .iter()
-            .map(|s| simplifier.simplify(&s.obfuscated))
-            .collect();
-        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0 / corpus.len() as f64;
+        let simplifier = Simplifier::with_config(SimplifyConfig {
+            use_cache: cfg.use_cache && config.use_cache,
+            ..cfg
+        });
+        let run = mba_bench::simplify_corpus(&simplifier, &inputs, config.jobs);
+        let outputs = run.outputs();
+        let elapsed_ms = run.wall_clock.as_secs_f64() * 1000.0 / corpus.len() as f64;
 
         let avg_alt = report::mean(outputs.iter().map(|o| alternation(o) as f64));
         let avg_len = report::mean(outputs.iter().map(|o| o.to_string().len() as f64));
@@ -89,12 +97,29 @@ fn main() {
         let fast = records.iter().filter(|r| r.verdict == Verdict::Solved).count();
 
         println!(
-            "{:<20} {:>12.2} {:>12.1} {:>12.3} {:>13.1}%",
+            "{:<20} {:>12.2} {:>12.1} {:>12.3} {:>11.1}% {:>13.1}%",
             name,
             avg_alt,
             avg_len,
             elapsed_ms,
+            100.0 * run.cache.hit_rate(),
             100.0 * fast as f64 / corpus.len().max(1) as f64,
         );
+
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        telemetry
+            .push_float(
+                &format!("{slug}_wall_clock_s"),
+                run.wall_clock.as_secs_f64(),
+            )
+            .push_float(&format!("{slug}_cache_hit_rate"), run.cache.hit_rate());
+    }
+
+    match telemetry.write() {
+        Ok(path) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
     }
 }

@@ -4,10 +4,11 @@
 //! Every corpus sample is first simplified by `mba-solver`; the query
 //! is then `simplified == ground_truth`.
 
-use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig};
+use mba_bench::{report, report::BenchReport, runner::EquivalenceTask, ExperimentConfig};
+use mba_expr::Expr;
 use mba_gen::{Corpus, CorpusConfig};
 use mba_smt::SolverProfile;
-use mba_solver::Simplifier;
+use mba_solver::{Simplifier, SimplifyConfig};
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -18,15 +19,29 @@ fn main() {
         seed: config.seed,
         per_category: config.per_category,
     });
-    let simplifier = Simplifier::new();
-    eprintln!("simplifying {} samples ...", corpus.len());
+    let simplifier = Simplifier::with_config(SimplifyConfig {
+        use_cache: config.use_cache,
+        ..SimplifyConfig::default()
+    });
+    eprintln!(
+        "simplifying {} samples on {} jobs ...",
+        corpus.len(),
+        config.jobs
+    );
+    let inputs: Vec<Expr> = corpus
+        .samples()
+        .iter()
+        .map(|s| s.obfuscated.clone())
+        .collect();
+    let run = mba_bench::simplify_corpus(&simplifier, &inputs, config.jobs);
     let tasks: Vec<EquivalenceTask> = corpus
         .samples()
         .iter()
-        .map(|s| EquivalenceTask {
+        .zip(run.outputs())
+        .map(|(s, simplified)| EquivalenceTask {
             sample_id: s.id,
             kind: s.kind,
-            lhs: simplifier.simplify(&s.obfuscated),
+            lhs: simplified,
             rhs: s.ground_truth.clone(),
         })
         .collect();
@@ -49,4 +64,21 @@ fn main() {
 
     let (hits, misses) = simplifier.cache_stats();
     println!("\nMBA-Solver lookup table: {hits} hits, {misses} misses");
+    println!(
+        "signature cache: {} | batch wall-clock: {:.3}s",
+        run.cache,
+        run.wall_clock.as_secs_f64()
+    );
+
+    let mut telemetry = BenchReport::new("table6");
+    telemetry
+        .push_simplify_run(&run)
+        .push_int("jobs", config.jobs as u64)
+        .push_int("cache_enabled", u64::from(config.use_cache))
+        .push_int("lookup_table_hits", hits)
+        .push_int("lookup_table_misses", misses);
+    match telemetry.write() {
+        Ok(path) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
 }

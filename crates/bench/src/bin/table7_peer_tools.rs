@@ -9,11 +9,11 @@
 use std::time::Duration;
 
 use mba_baselines::{Sspam, Syntia};
-use mba_bench::{report, runner::EquivalenceTask, ExperimentConfig, Verdict};
+use mba_bench::{report, report::BenchReport, runner::EquivalenceTask, ExperimentConfig, Verdict};
 use mba_expr::{metrics::alternation, Expr};
 use mba_gen::{Corpus, CorpusConfig, Sample};
 use mba_smt::SolverProfile;
-use mba_solver::Simplifier;
+use mba_solver::{Simplifier, SimplifyConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,12 +48,14 @@ fn main() {
         })
         .collect();
 
-    eprintln!("running mba-solver ...");
-    let simplifier = Simplifier::new();
-    let solver_out: Vec<Expr> = samples
-        .iter()
-        .map(|s| simplifier.simplify(&s.obfuscated))
-        .collect();
+    eprintln!("running mba-solver on {} jobs ...", config.jobs);
+    let simplifier = Simplifier::with_config(SimplifyConfig {
+        use_cache: config.use_cache,
+        ..SimplifyConfig::default()
+    });
+    let solver_inputs: Vec<Expr> = samples.iter().map(|s| s.obfuscated.clone()).collect();
+    let solver_run = mba_bench::simplify_corpus(&simplifier, &solver_inputs, config.jobs);
+    let solver_out: Vec<Expr> = solver_run.outputs();
 
     let runs = [
         ToolRun { name: "SSPAM", outputs: sspam_out },
@@ -135,6 +137,21 @@ fn main() {
             avg_times[1],
             avg_times[2],
         );
+    }
+
+    println!(
+        "\nMBA-Solver signature cache: {} | batch wall-clock: {:.3}s",
+        solver_run.cache,
+        solver_run.wall_clock.as_secs_f64()
+    );
+    let mut telemetry = BenchReport::new("table7");
+    telemetry
+        .push_simplify_run(&solver_run)
+        .push_int("jobs", config.jobs as u64)
+        .push_int("cache_enabled", u64::from(config.use_cache));
+    match telemetry.write() {
+        Ok(path) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
     }
 
     // Guard against silently dropping categories.

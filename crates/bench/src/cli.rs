@@ -17,8 +17,15 @@ pub struct ExperimentConfig {
     pub width: u32,
     /// Per-query solver timeout in ms (`--timeout-ms`; paper: 1 h).
     pub timeout_ms: u64,
-    /// Worker threads (`--threads`; default: available parallelism).
+    /// Worker threads for *solver* queries (`--threads`; default:
+    /// available parallelism).
     pub threads: usize,
+    /// Worker threads for *simplification* batches (`--jobs`; default:
+    /// available parallelism).
+    pub jobs: usize,
+    /// Whether the simplifier's caches (lookup table + signature cache)
+    /// are enabled (`--no-cache` clears it).
+    pub use_cache: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -31,6 +38,10 @@ impl Default for ExperimentConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            use_cache: true,
         }
     }
 }
@@ -65,6 +76,13 @@ impl ExperimentConfig {
                         return Err("--threads must be positive".into());
                     }
                 }
+                "--jobs" => {
+                    config.jobs = parse_num(take("--jobs")?)?;
+                    if config.jobs == 0 {
+                        return Err("--jobs must be positive".into());
+                    }
+                }
+                "--no-cache" => config.use_cache = false,
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", Self::usage())),
             }
@@ -92,7 +110,7 @@ impl ExperimentConfig {
     /// Usage text.
     pub fn usage() -> String {
         "usage: <bin> [--seed N] [--per-category N] [--width 1..=64] \
-         [--timeout-ms N] [--threads N]"
+         [--timeout-ms N] [--threads N] [--jobs N] [--no-cache]"
             .to_string()
     }
 
@@ -100,8 +118,14 @@ impl ExperimentConfig {
     /// binary so outputs are self-describing.
     pub fn banner(&self) -> String {
         format!(
-            "seed={} per-category={} width={} timeout={}ms threads={}",
-            self.seed, self.per_category, self.width, self.timeout_ms, self.threads
+            "seed={} per-category={} width={} timeout={}ms threads={} jobs={} cache={}",
+            self.seed,
+            self.per_category,
+            self.width,
+            self.timeout_ms,
+            self.threads,
+            self.jobs,
+            if self.use_cache { "on" } else { "off" }
         )
     }
 }
@@ -146,9 +170,21 @@ mod tests {
         assert!(parse(&["--width", "0"]).is_err());
         assert!(parse(&["--width", "65"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn jobs_and_no_cache_flags() {
+        let c = parse(&["--jobs", "3", "--no-cache"]).unwrap();
+        assert_eq!(c.jobs, 3);
+        assert!(!c.use_cache);
+        assert!(parse(&[]).unwrap().use_cache);
+        assert!(c.banner().contains("cache=off"));
+        assert!(ExperimentConfig::usage().contains("--no-cache"));
+        assert!(ExperimentConfig::usage().contains("--jobs"));
     }
 
     #[test]

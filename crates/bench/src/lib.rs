@@ -22,4 +22,6 @@ pub mod report;
 pub mod runner;
 
 pub use cli::ExperimentConfig;
-pub use runner::{run_equivalence_checks, EquivalenceTask, SolveRecord, Verdict};
+pub use runner::{
+    run_equivalence_checks, simplify_corpus, EquivalenceTask, SimplifyRun, SolveRecord, Verdict,
+};

@@ -1,10 +1,13 @@
-//! Aggregation and table formatting for the experiment binaries.
+//! Aggregation, table formatting, and machine-readable telemetry for
+//! the experiment binaries.
 
+use std::io;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use mba_gen::ObfuscationKind;
 
-use crate::runner::{SolveRecord, Verdict};
+use crate::runner::{SimplifyRun, SolveRecord, Verdict};
 
 /// Per-category aggregate in the shape of the paper's Tables 2 and 6:
 /// `N`, `[T_min, T_max]`, `T_avg` over *solved* samples.
@@ -106,6 +109,106 @@ pub fn solver_table(profile_names: &[&str], per_profile: &[Vec<SolveRecord>]) ->
         ));
     }
     out.push('\n');
+    out
+}
+
+/// A flat JSON-object builder for `BENCH_<name>.json` telemetry files.
+///
+/// The workspace has no JSON dependency, and the telemetry is a flat
+/// string/number map, so this renders the object by hand. Insertion
+/// order is preserved; [`BenchReport::write`] drops the file next to
+/// wherever the binary runs so CI and scripts can diff wall-clock and
+/// cache hit-rate across runs.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    /// `(key, already-rendered JSON value)` in insertion order.
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report for bench `name` (also its first field).
+    pub fn new(name: &str) -> BenchReport {
+        let mut r = BenchReport {
+            name: name.to_string(),
+            fields: Vec::new(),
+        };
+        r.push_str("bench", name);
+        r
+    }
+
+    fn push_raw(&mut self, key: &str, value: String) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn push_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_raw(key, format!("\"{}\"", escape_json(value)))
+    }
+
+    /// Adds an integer field.
+    pub fn push_int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
+    /// Adds a float field (non-finite values are serialized as `null`,
+    /// which JSON requires).
+    pub fn push_float(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.push_raw(key, rendered)
+    }
+
+    /// Adds the standard telemetry of one measured simplification batch:
+    /// sample count, wall-clock, and cache hits/misses/hit-rate.
+    pub fn push_simplify_run(&mut self, run: &SimplifyRun) -> &mut Self {
+        self.push_int("samples", run.results.len() as u64)
+            .push_float("simplify_wall_clock_s", run.wall_clock.as_secs_f64())
+            .push_int("cache_hits", run.cache.hits)
+            .push_int("cache_misses", run.cache.misses)
+            .push_float("cache_hit_rate", run.cache.hit_rate())
+    }
+
+    /// Renders the JSON object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {}", escape_json(k), v))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Writes `BENCH_<name>.json` in the current directory and returns
+    /// its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-system error.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -221,5 +324,30 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean([]), 0.0);
         assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn bench_report_renders_flat_json() {
+        let mut r = BenchReport::new("table6");
+        r.push_int("samples", 75)
+            .push_float("simplify_wall_clock_s", 0.125)
+            .push_float("cache_hit_rate", 0.5)
+            .push_str("note", "a \"quoted\"\nvalue");
+        let json = r.render();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"bench\": \"table6\""));
+        assert!(json.contains("\"samples\": 75"));
+        assert!(json.contains("\"simplify_wall_clock_s\": 0.125000"));
+        assert!(json.contains("\"note\": \"a \\\"quoted\\\"\\nvalue\""));
+        // Exactly one trailing-comma-free object: last field has none.
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn bench_report_serializes_non_finite_floats_as_null() {
+        let mut r = BenchReport::new("x");
+        r.push_float("bad", f64::NAN);
+        assert!(r.render().contains("\"bad\": null"));
     }
 }

@@ -1,11 +1,14 @@
-//! Parallel execution of equivalence queries over a corpus.
+//! Parallel execution of simplification batches and equivalence queries
+//! over a corpus.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mba_expr::Expr;
 use mba_gen::ObfuscationKind;
+use mba_sig::CacheStats;
 use mba_smt::{CheckOutcome, SmtSolver, SolverProfile};
+use mba_solver::{Simplifier, SimplifyResult};
 
 /// The verdict of one query, flattened for aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +48,45 @@ pub struct SolveRecord {
     pub elapsed: Duration,
     /// Whether rewriting alone closed the query.
     pub solved_by_rewriting: bool,
+}
+
+/// One measured batch-simplification pass: per-expression results plus
+/// the wall-clock and signature-cache telemetry the experiment binaries
+/// report (and serialize into `BENCH_*.json`).
+#[derive(Debug)]
+pub struct SimplifyRun {
+    /// Per-expression results, in input order.
+    pub results: Vec<SimplifyResult>,
+    /// Wall-clock time of the whole batch.
+    pub wall_clock: Duration,
+    /// Signature-cache activity *during this batch* (deltas, so earlier
+    /// runs against a shared cache do not pollute the numbers).
+    pub cache: CacheStats,
+}
+
+impl SimplifyRun {
+    /// The simplified expressions alone, in input order.
+    pub fn outputs(&self) -> Vec<Expr> {
+        self.results.iter().map(|r| r.output.clone()).collect()
+    }
+}
+
+/// Simplifies `exprs` through [`Simplifier::simplify_batch_with_jobs`],
+/// measuring wall-clock and cache hit-rate.
+pub fn simplify_corpus(simplifier: &Simplifier, exprs: &[Expr], jobs: usize) -> SimplifyRun {
+    let before = simplifier.sig_cache().stats();
+    let start = Instant::now();
+    let results = simplifier.simplify_batch_with_jobs(exprs, jobs);
+    let wall_clock = start.elapsed();
+    let after = simplifier.sig_cache().stats();
+    SimplifyRun {
+        results,
+        wall_clock,
+        cache: CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+        },
+    }
 }
 
 /// Runs every task against `profile`, using `threads` workers. Records
@@ -150,6 +192,30 @@ mod tests {
             1,
         );
         assert_eq!(records[0].verdict, Verdict::Timeout);
+    }
+
+    #[test]
+    fn simplify_corpus_matches_sequential_and_counts_cache_activity() {
+        let exprs: Vec<Expr> = [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "x + y - 2*(x&y)",
+            "2*(x|y) - (~x&y) - (x&~y)",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let batch_solver = Simplifier::new();
+        let run = simplify_corpus(&batch_solver, &exprs, 2);
+        let sequential = Simplifier::new();
+        for (e, got) in exprs.iter().zip(run.outputs()) {
+            assert_eq!(got, sequential.simplify(e));
+        }
+        assert!(run.cache.lookups() > 0, "batch must exercise the cache");
+        // A second identical batch against the same simplifier is all
+        // hits at the signature layer (the expression-level lookup table
+        // answers first, so just assert no new misses dominate).
+        let rerun = simplify_corpus(&batch_solver, &exprs, 2);
+        assert_eq!(run.outputs(), rerun.outputs());
     }
 
     #[test]

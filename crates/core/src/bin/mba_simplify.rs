@@ -15,17 +15,33 @@ use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 
 use mba_expr::Expr;
-use mba_solver::Simplifier;
+use mba_solver::{Simplifier, SimplifyConfig};
 
 fn main() -> ExitCode {
     let mut verbose = false;
+    let mut jobs: Option<usize> = None;
+    let mut use_cache = true;
     let mut inputs: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verbose" | "-v" => verbose = true,
+            "--jobs" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n > 0 => jobs = Some(n),
+                    _ => {
+                        eprintln!("mba_simplify: --jobs requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--no-cache" => use_cache = false,
             "--help" | "-h" => {
-                eprintln!("usage: mba_simplify [--verbose] [EXPR ...]");
+                eprintln!("usage: mba_simplify [--verbose] [--jobs N] [--no-cache] [EXPR ...]");
                 eprintln!("reads expressions from stdin when no EXPR is given");
+                eprintln!("  --jobs N     simplify inputs on N parallel workers");
+                eprintln!("  --no-cache   disable the lookup table and signature cache");
                 return ExitCode::SUCCESS;
             }
             other => inputs.push(other.to_string()),
@@ -45,32 +61,44 @@ fn main() -> ExitCode {
         }
     }
 
-    let simplifier = Simplifier::new();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
+    let simplifier = Simplifier::with_config(SimplifyConfig {
+        use_cache,
+        ..SimplifyConfig::default()
+    });
+    // Parse everything first (reporting failures as they appear), then
+    // simplify the parseable inputs as one batch so `--jobs` can fan
+    // out; stdout order still follows input order.
     let mut failed = false;
+    let mut exprs: Vec<Expr> = Vec::new();
     for input in &inputs {
         match input.parse::<Expr>() {
-            Ok(e) => {
-                let d = simplifier.simplify_detailed(&e);
-                if verbose {
-                    let _ = writeln!(
-                        out,
-                        "{}    [{}, alternation {} -> {}, {} rounds]",
-                        d.output,
-                        d.input_metrics.class,
-                        d.input_metrics.alternation,
-                        d.output_metrics.alternation,
-                        d.rounds
-                    );
-                } else {
-                    let _ = writeln!(out, "{}", d.output);
-                }
-            }
+            Ok(e) => exprs.push(e),
             Err(err) => {
                 eprintln!("mba_simplify: cannot parse `{input}`: {err}");
                 failed = true;
             }
+        }
+    }
+    let results = match jobs {
+        Some(n) => simplifier.simplify_batch_with_jobs(&exprs, n),
+        None => simplifier.simplify_batch(&exprs),
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for d in &results {
+        if verbose {
+            let _ = writeln!(
+                out,
+                "{}    [{}, alternation {} -> {}, {} rounds]",
+                d.output,
+                d.input_metrics.class,
+                d.input_metrics.alternation,
+                d.output_metrics.alternation,
+                d.rounds
+            );
+        } else {
+            let _ = writeln!(out, "{}", d.output);
         }
     }
     if failed {

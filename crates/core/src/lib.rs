@@ -47,4 +47,4 @@ mod rewrite;
 mod simplifier;
 
 pub use poly::Poly;
-pub use simplifier::{Basis, Simplified, Simplifier, SimplifyConfig};
+pub use simplifier::{Basis, Simplified, Simplifier, SimplifyConfig, SimplifyResult};

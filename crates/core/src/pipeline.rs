@@ -3,9 +3,10 @@
 //! arithmetic-reduction glue (the body of Algorithm 1).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use mba_expr::{BinOp, Expr, Ident, UnOp};
-use mba_sig::{SignatureVector, TruthTable};
+use mba_sig::{cache, SignatureVector, TruthTable};
 
 use crate::poly::Poly;
 use crate::simplifier::{Basis, Simplifier};
@@ -109,32 +110,57 @@ impl<'a> Pipeline<'a> {
             // Too wide for a truth table: keep the subtree opaque.
             return Some(Poly::atom(skeleton, self.width()));
         }
-        let sig = SignatureVector::of_bitwise(&skeleton, &vars)
-            .expect("skeleton is pure bitwise by construction");
-        Some(self.signature_to_poly(&sig, &vars))
+        // Truth-table extraction (the 2^t evaluation sweep) and the
+        // basis re-expression below both memoize through the shared
+        // `SigCache` when caching is enabled; the uncached paths compute
+        // the same pure functions directly, so outputs never differ.
+        let table: Arc<TruthTable> = if self.use_sig_cache() {
+            self.simplifier
+                .sig_cache()
+                .table_of(&skeleton, &vars)
+                .expect("skeleton is pure bitwise by construction")
+        } else {
+            Arc::new(
+                TruthTable::of(&skeleton, &vars)
+                    .expect("skeleton is pure bitwise by construction"),
+            )
+        };
+        Some(self.table_to_poly(&table, &vars))
     }
 
-    /// Expands a 0/1 signature in the configured basis. `Adaptive` is
-    /// resolved to concrete bases by the driver before pipelines run,
-    /// so it falls back to ∧ here.
-    fn signature_to_poly(&self, sig: &SignatureVector, vars: &[Ident]) -> Poly {
+    fn use_sig_cache(&self) -> bool {
+        self.simplifier.config().use_cache
+    }
+
+    /// The ∧-basis (Möbius) coefficients of a truth table, via the
+    /// shared cache when enabled.
+    fn and_coefficients(&self, tt: &TruthTable) -> Vec<i128> {
+        if self.use_sig_cache() {
+            (*self.simplifier.sig_cache().and_coefficients(tt)).clone()
+        } else {
+            SignatureVector::from_truth_table(tt).normalized_coefficients()
+        }
+    }
+
+    /// Expands a 0/1 truth-table signature in the configured basis.
+    /// `Adaptive` is resolved to concrete bases by the driver before
+    /// pipelines run, so it falls back to ∧ here.
+    fn table_to_poly(&self, tt: &TruthTable, vars: &[Ident]) -> Poly {
         match self.simplifier.config().basis {
             Basis::And | Basis::Adaptive => {
-                self.expand_and_basis(&sig.normalized_coefficients(), vars)
+                self.expand_and_basis(&self.and_coefficients(tt), vars)
             }
             Basis::Or => {
-                let t = vars.len();
-                let basis: Vec<Expr> = (0..1usize << t)
-                    .map(|s| {
-                        if s == 0 {
-                            Expr::minus_one()
-                        } else {
-                            or_of_subset(s, vars)
-                        }
-                    })
-                    .collect();
-                match sig.solve_in_basis(&basis, vars) {
-                    Ok(Some(coeffs)) => {
+                let solved = if self.use_sig_cache() {
+                    self.simplifier
+                        .sig_cache()
+                        .or_coefficients(tt)
+                        .map(|c| (*c).clone())
+                } else {
+                    cache::or_basis_coefficients(tt)
+                };
+                match solved {
+                    Some(coeffs) => {
                         let mut p = Poly::zero(self.width());
                         for (s, &c) in coeffs.iter().enumerate() {
                             if c == 0 {
@@ -151,7 +177,7 @@ impl<'a> Pipeline<'a> {
                     // The ∨-basis can lack integer solutions for some
                     // signatures; fall back to the ∧-basis, which is
                     // unimodular and never fails.
-                    _ => self.expand_and_basis(&sig.normalized_coefficients(), vars),
+                    None => self.expand_and_basis(&self.and_coefficients(tt), vars),
                 }
             }
         }

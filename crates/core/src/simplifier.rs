@@ -2,10 +2,11 @@
 //! final-step optimization (Algorithm 1's outer loop).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mba_expr::{metrics, Expr, Ident, MbaClass, Metrics};
-use mba_sig::{catalog, linear_combination, SignatureVector};
+use mba_sig::{catalog, linear_combination, SigCache, SignatureVector};
 use parking_lot::Mutex;
 
 use crate::pipeline::Pipeline;
@@ -61,6 +62,10 @@ impl Default for SimplifyConfig {
     }
 }
 
+/// Alias for [`Simplified`] under the batch API's name:
+/// [`Simplifier::simplify_batch`] returns `Vec<SimplifyResult>`.
+pub type SimplifyResult = Simplified;
+
 /// The result of [`Simplifier::simplify_detailed`].
 #[derive(Debug, Clone)]
 pub struct Simplified {
@@ -96,6 +101,11 @@ pub struct Simplifier {
     canonical_cache: Mutex<HashMap<Expr, Expr>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Signature-layer memoization (truth tables and basis
+    /// coefficients), shareable across simplifiers via
+    /// [`Simplifier::with_cache`] and across batch workers. Consulted
+    /// only when [`SimplifyConfig::use_cache`] is set.
+    sig_cache: Arc<SigCache>,
 }
 
 /// Recursion guard for nested temporary simplification.
@@ -113,6 +123,37 @@ impl Simplifier {
             config,
             ..Simplifier::default()
         }
+    }
+
+    /// Creates a simplifier sharing an existing signature cache.
+    ///
+    /// Hand clones of one `Arc<SigCache>` to several simplifiers (or to
+    /// several [`Simplifier::simplify_batch`] calls) and they pool their
+    /// memoized truth tables and basis coefficients:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mba_sig::SigCache;
+    /// use mba_solver::{Simplifier, SimplifyConfig};
+    ///
+    /// let cache = Arc::new(SigCache::new());
+    /// let a = Simplifier::with_cache(SimplifyConfig::default(), Arc::clone(&cache));
+    /// let b = Simplifier::with_cache(SimplifyConfig::default(), Arc::clone(&cache));
+    /// a.simplify(&"x + y - (x&y)".parse().unwrap());
+    /// b.simplify(&"x + y - (x&y)".parse().unwrap());
+    /// assert!(cache.stats().hits > 0, "b reuses a's signature work");
+    /// ```
+    pub fn with_cache(config: SimplifyConfig, sig_cache: Arc<SigCache>) -> Simplifier {
+        Simplifier {
+            config,
+            sig_cache,
+            ..Simplifier::default()
+        }
+    }
+
+    /// The shared signature-layer cache (for stats or further sharing).
+    pub fn sig_cache(&self) -> &Arc<SigCache> {
+        &self.sig_cache
     }
 
     /// The active configuration.
@@ -155,18 +196,76 @@ impl Simplifier {
         }
     }
 
+    /// Simplifies a batch of expressions in parallel, one worker per
+    /// available core, all workers sharing this simplifier's caches.
+    ///
+    /// Results arrive in input order, and each is byte-identical to
+    /// what a sequential [`Simplifier::simplify_detailed`] loop would
+    /// produce — every memoized value is a pure function of its key, so
+    /// scheduling cannot leak into outputs
+    /// (`tests/differential_cache.rs` holds this pinned).
+    pub fn simplify_batch(&self, exprs: &[Expr]) -> Vec<SimplifyResult> {
+        let jobs = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.simplify_batch_with_jobs(exprs, jobs)
+    }
+
+    /// [`Simplifier::simplify_batch`] with an explicit worker count
+    /// (`jobs == 1` runs inline on the calling thread).
+    pub fn simplify_batch_with_jobs(&self, exprs: &[Expr], jobs: usize) -> Vec<SimplifyResult> {
+        let jobs = jobs.clamp(1, exprs.len().max(1));
+        if jobs == 1 {
+            return exprs.iter().map(|e| self.simplify_detailed(e)).collect();
+        }
+        // Work-stealing by atomic index: workers pull the next
+        // unclaimed expression, tagging results with their input
+        // position so the merge restores input order.
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, Simplified)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(e) = exprs.get(i) else { break };
+                            local.push((i, self.simplify_detailed(e)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("batch worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, s)| s).collect()
+    }
+
     /// §7's base-vector selection: run the ∧- and ∨-basis pipelines
     /// independently and keep whichever result scores better (ties go
     /// to the ∧ basis, the paper's default).
     fn simplify_adaptive(&self, e: &Expr) -> Simplified {
-        let and_solver = Simplifier::with_config(SimplifyConfig {
-            basis: Basis::And,
-            ..self.config.clone()
-        });
-        let or_solver = Simplifier::with_config(SimplifyConfig {
-            basis: Basis::Or,
-            ..self.config.clone()
-        });
+        // Both sub-solvers share this simplifier's signature cache: the
+        // truth tables are basis-independent, and the ∧ run's Möbius
+        // coefficients double as the ∨ run's fallback.
+        let and_solver = Simplifier::with_cache(
+            SimplifyConfig {
+                basis: Basis::And,
+                ..self.config.clone()
+            },
+            Arc::clone(&self.sig_cache),
+        );
+        let or_solver = Simplifier::with_cache(
+            SimplifyConfig {
+                basis: Basis::Or,
+                ..self.config.clone()
+            },
+            Arc::clone(&self.sig_cache),
+        );
         let and_result = and_solver.simplify_detailed(e);
         let or_result = or_solver.simplify_detailed(e);
         if score(&or_result.output) < score(&and_result.output) {

@@ -68,5 +68,41 @@ fn parse_errors_exit_nonzero_but_process_the_rest() {
 fn help_flag_succeeds() {
     let out = bin().arg("--help").output().expect("binary runs");
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let help = String::from_utf8_lossy(&out.stderr);
+    assert!(help.contains("usage"));
+    assert!(help.contains("--jobs"), "help must document --jobs: {help}");
+    assert!(
+        help.contains("--no-cache"),
+        "help must document --no-cache: {help}"
+    );
+}
+
+#[test]
+fn jobs_and_no_cache_flags_do_not_change_output() {
+    let exprs = [
+        "2*(x|y) - (~x&y) - (x&~y)",
+        "x + y - 2*(x&y)",
+        "~(x - 1)",
+        "(x*y | z) + (x*y & z)",
+    ];
+    let baseline = bin().args(exprs).output().expect("binary runs");
+    assert!(baseline.status.success());
+    for extra in [&["--jobs", "3"][..], &["--no-cache"][..]] {
+        let out = bin().args(extra).args(exprs).output().expect("binary runs");
+        assert!(out.status.success(), "{extra:?} failed");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&baseline.stdout),
+            "output drifted under {extra:?}"
+        );
+    }
+}
+
+#[test]
+fn jobs_rejects_non_positive_values() {
+    for bad in [&["--jobs", "0"][..], &["--jobs", "abc"][..], &["--jobs"][..]] {
+        let out = bin().args(bad).arg("x").output().expect("binary runs");
+        assert!(!out.status.success(), "{bad:?} must be rejected");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+    }
 }

@@ -3,9 +3,14 @@
 //! width, on arbitrary expressions — including ill-behaved non-poly
 //! shapes it cannot actually simplify.
 
+use std::sync::Arc;
+
 use mba_expr::{Expr, Valuation};
+use mba_sig::SigCache;
 use mba_solver::{Basis, Simplifier, SimplifyConfig};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Arbitrary MBA expressions over {x, y, z}, biased toward the mixed
 /// shapes the corpus contains.
@@ -26,6 +31,43 @@ fn arb_mba() -> impl Strategy<Value = Expr> {
             inner.prop_map(|e| -e),
         ]
     })
+}
+
+/// Random-valuation equivalence at the widths the corpus tests exercise
+/// (the same sampling check as `corpus_simplification.rs`).
+fn equivalent_by_sampling(a: &Expr, b: &Expr, rng: &mut StdRng) -> bool {
+    let vars: Vec<_> = a.vars().union(&b.vars()).cloned().collect();
+    for _ in 0..16 {
+        let v: Valuation = vars.iter().map(|n| (n.clone(), rng.gen())).collect();
+        for w in [8u32, 16, 32, 64] {
+            if a.eval(&v, w) != b.eval(&v, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One simplifier per basis, shared across all proptest cases so the
+/// signature cache keeps warming up as cases accumulate — later cases
+/// exercise the *cached* re-expression paths, not just cold computes.
+fn shared_simplifier(basis: Basis) -> &'static Simplifier {
+    use std::sync::OnceLock;
+    static AND: OnceLock<Simplifier> = OnceLock::new();
+    static OR: OnceLock<Simplifier> = OnceLock::new();
+    let build = move || {
+        Simplifier::with_cache(
+            SimplifyConfig {
+                basis,
+                ..SimplifyConfig::default()
+            },
+            Arc::new(SigCache::new()),
+        )
+    };
+    match basis {
+        Basis::Or => OR.get_or_init(build),
+        _ => AND.get_or_init(build),
+    }
 }
 
 fn assert_same_semantics(a: &Expr, b: &Expr, x: u64, y: u64, z: u64) -> Result<(), TestCaseError> {
@@ -101,6 +143,42 @@ proptest! {
             d.output_metrics.alternation <= d.input_metrics.alternation,
             "alternation grew on `{}`", e
         );
+    }
+
+    /// Cached basis re-expressions stay semantically equivalent: a
+    /// simplifier whose signature cache warms up across cases must
+    /// produce outputs that (a) survive random valuations at widths
+    /// {8,16,32,64} and (b) match a cold cache-off simplifier
+    /// byte-for-byte — in both the ∧ and ∨ bases.
+    #[test]
+    fn cached_basis_reexpressions_stay_equivalent(
+        e in arb_mba(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for basis in [Basis::And, Basis::Or] {
+            let warm = shared_simplifier(basis);
+            let out = warm.simplify(&e);
+            prop_assert!(
+                equivalent_by_sampling(&e, &out, &mut rng),
+                "cached {:?}-basis output `{}` diverged from `{}`",
+                basis,
+                out,
+                e
+            );
+            let cold = Simplifier::with_config(SimplifyConfig {
+                use_cache: false,
+                basis,
+                ..SimplifyConfig::default()
+            });
+            prop_assert_eq!(
+                out.to_string(),
+                cold.simplify(&e).to_string(),
+                "warm cache changed the {:?}-basis output of `{}`",
+                basis,
+                e
+            );
+        }
     }
 
     /// proves_equivalent is sound: a `true` verdict survives random

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod basis;
+pub mod cache;
 pub mod catalog;
 mod signature;
 pub mod table;
 mod truth;
 
 pub use basis::linear_combination;
+pub use cache::{CacheStats, SigCache};
 pub use signature::{NotLinearError, SignatureVector};
 pub use truth::{NotBitwiseError, TruthTable};

@@ -1,0 +1,78 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped-thread API). The `scope` function returns
+//! `Ok(..)` always — std scopes propagate child panics by panicking on
+//! exit, so the `Err` branch of crossbeam's signature is unreachable
+//! here — and spawn closures receive a scope handle they can use for
+//! nested spawns.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as std_thread;
+
+    pub use std_thread::ScopedJoinHandle;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle
+        /// (crossbeam convention) usable for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let total: usize = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let counter = &counter;
+                    s.spawn(move |_| counter.fetch_add(1, Ordering::Relaxed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline, API-compatible subset of `serde`'s trait surface.
+//!
+//! Provides the `Serialize`/`Deserialize` traits (and the
+//! `Serializer`/`Deserializer` machinery the workspace's hand-written
+//! impls use) so type signatures keep compiling without crates.io. The
+//! derive macros (re-exported from the sibling `serde_derive` shim)
+//! expand to nothing — nothing in the workspace consumes the generated
+//! impls. A minimal string-oriented `Serializer`/`Deserializer` pair is
+//! included so the hand-written impls remain exercisable in tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side traits.
+pub mod de {
+    use super::*;
+
+    /// Errors produced during deserialization.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can drive deserialization.
+    pub trait Deserializer<'de>: Sized {
+        /// The format's error type.
+        type Error: Error;
+
+        /// Produces a string value.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+    }
+}
+
+/// Serialization-side traits.
+pub mod ser {
+    use super::*;
+
+    /// Errors produced during serialization.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can receive serialized values.
+    pub trait Serializer: Sized {
+        /// Success value.
+        type Ok;
+        /// The format's error type.
+        type Error: Error;
+
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes an integer.
+        fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Writes `self` into the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Reads a value from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+/// A minimal concrete error type usable by tests of hand-written impls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleError(String);
+
+impl Display for SimpleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl de::Error for SimpleError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+impl ser::Error for SimpleError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// A serializer that renders values to plain strings.
+pub struct StringSerializer;
+
+impl Serializer for StringSerializer {
+    type Ok = String;
+    type Error = SimpleError;
+
+    fn serialize_str(self, v: &str) -> Result<String, SimpleError> {
+        Ok(v.to_string())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<String, SimpleError> {
+        Ok(v.to_string())
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<String, SimpleError> {
+        Ok(v.to_string())
+    }
+}
+
+/// A deserializer that reads values from a plain string.
+pub struct StringDeserializer(pub String);
+
+impl<'de> Deserializer<'de> for StringDeserializer {
+    type Error = SimpleError;
+
+    fn deserialize_string(self) -> Result<String, SimpleError> {
+        Ok(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip_through_shim_formats() {
+        let out = "hello".serialize(StringSerializer).unwrap();
+        assert_eq!(out, "hello");
+        let back = String::deserialize(StringDeserializer(out)).unwrap();
+        assert_eq!(back, "hello");
+    }
+
+    #[test]
+    fn custom_errors_render_their_message() {
+        let e = <SimpleError as de::Error>::custom("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

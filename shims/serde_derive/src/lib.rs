@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on public types for
+//! downstream consumers, but contains no code that *requires* those
+//! bounds (there is no `serde_json` and no generic `T: Serialize` use).
+//! With crates.io unreachable, these derives therefore expand to
+//! nothing: the attribute stays legal, the trait impls simply are not
+//! generated. Hand-written `impl Serialize`/`impl Deserialize` blocks
+//! (e.g. on `Ident`) still compile against the trait definitions in the
+//! sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
