@@ -152,6 +152,11 @@ impl BenchReport {
         self.push_raw(key, value.to_string())
     }
 
+    /// Adds a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
     /// Adds a float field (non-finite values are serialized as `null`,
     /// which JSON requires).
     pub fn push_float(&mut self, key: &str, value: f64) -> &mut Self {

@@ -47,4 +47,6 @@ mod rewrite;
 mod simplifier;
 
 pub use poly::Poly;
-pub use simplifier::{Basis, Simplified, Simplifier, SimplifyConfig, SimplifyResult};
+pub use simplifier::{
+    Basis, InjectedBug, Simplified, Simplifier, SimplifyConfig, SimplifyResult,
+};

@@ -27,6 +27,26 @@ pub enum Basis {
     Adaptive,
 }
 
+/// A deliberately unsound rewrite applied to the simplifier's *output*.
+///
+/// This exists solely for the verification subsystem (`mba-verify`):
+/// its self-tests enable one of these bugs and assert that the fuzzing
+/// harness both detects the resulting discrepancy and shrinks it to a
+/// minimal reproducer. Production code must leave
+/// [`SimplifyConfig::injected_bug`] at `None`; the soundness contract
+/// of every other simplifier path is unaffected by that default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Rewrites the first `a|b` node of the output to `a^b` — wrong
+    /// exactly when `a ∧ b ≠ 0` somewhere.
+    OrToXor,
+    /// Rewrites the first `a+b` node of the output to `a|b` — wrong
+    /// exactly when the addition carries.
+    AddToOr,
+    /// Adds 1 to the whole output — wrong on every input.
+    OffByOne,
+}
+
 /// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
 /// the paper's prototype.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +67,9 @@ pub struct SimplifyConfig {
     pub use_cache: bool,
     /// Normalized basis selection (§7).
     pub basis: Basis,
+    /// Testing-only fault injection for the verification subsystem; see
+    /// [`InjectedBug`]. Must be `None` outside fuzzer self-tests.
+    pub injected_bug: Option<InjectedBug>,
 }
 
 impl Default for SimplifyConfig {
@@ -58,6 +81,7 @@ impl Default for SimplifyConfig {
             final_step: true,
             use_cache: true,
             basis: Basis::And,
+            injected_bug: None,
         }
     }
 }
@@ -186,6 +210,9 @@ impl Simplifier {
         }
         if self.config.final_step {
             current = self.final_step(&current);
+        }
+        if let Some(bug) = self.config.injected_bug {
+            current = apply_injected_bug(bug, &current);
         }
         Simplified {
             rounds,
@@ -431,6 +458,57 @@ impl Simplifier {
             e.clone()
         }
     }
+}
+
+/// Applies one [`InjectedBug`] to a finished output. Deterministic (the
+/// *first* eligible node in pre-order is rewritten), so the corrupted
+/// stream is identical across the sequential, batch, and cache-off
+/// paths — the fuzzer's oracle, not its differential layer, must catch
+/// these.
+fn apply_injected_bug(bug: InjectedBug, e: &Expr) -> Expr {
+    use mba_expr::BinOp;
+    match bug {
+        InjectedBug::OffByOne => {
+            Expr::binary(BinOp::Add, e.clone(), Expr::one())
+        }
+        InjectedBug::OrToXor => replace_first(e, &mut |n| match n {
+            Expr::Binary(BinOp::Or, a, b) => {
+                Some(Expr::Binary(BinOp::Xor, a.clone(), b.clone()))
+            }
+            _ => None,
+        }),
+        InjectedBug::AddToOr => replace_first(e, &mut |n| match n {
+            Expr::Binary(BinOp::Add, a, b) => {
+                Some(Expr::Binary(BinOp::Or, a.clone(), b.clone()))
+            }
+            _ => None,
+        }),
+    }
+}
+
+/// Rewrites the first (pre-order) node `f` accepts; returns the input
+/// unchanged when no node matches.
+fn replace_first(e: &Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr {
+    fn walk(e: &Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>, done: &mut bool) -> Expr {
+        if *done {
+            return e.clone();
+        }
+        if let Some(replacement) = f(e) {
+            *done = true;
+            return replacement;
+        }
+        match e {
+            Expr::Const(_) | Expr::Var(_) => e.clone(),
+            Expr::Unary(op, a) => Expr::unary(*op, walk(a, f, done)),
+            Expr::Binary(op, a, b) => {
+                let left = walk(a, f, done);
+                let right = walk(b, f, done);
+                Expr::binary(*op, left, right)
+            }
+        }
+    }
+    let mut done = false;
+    walk(e, f, &mut done)
 }
 
 /// Simplicity score: MBA alternation dominates (it is the paper's
@@ -720,6 +798,32 @@ mod tests {
         assert!(d.rounds >= 1);
         assert!(!d.bailed);
         assert!(d.output_metrics.alternation < d.input_metrics.alternation);
+    }
+
+    #[test]
+    fn injected_bugs_corrupt_deterministically() {
+        // Fault injection is for the verify subsystem's self-tests: it
+        // must actually break semantics, identically on repeat runs.
+        for (bug, src) in [
+            (InjectedBug::OrToXor, "x | y"),
+            (InjectedBug::AddToOr, "x + y"),
+            (InjectedBug::OffByOne, "x"),
+        ] {
+            let broken = Simplifier::with_config(SimplifyConfig {
+                injected_bug: Some(bug),
+                ..SimplifyConfig::default()
+            });
+            let e: Expr = src.parse().unwrap();
+            let a = broken.simplify(&e);
+            let b = broken.simplify(&e);
+            assert_eq!(a, b, "{bug:?} must be deterministic");
+            let v = Valuation::new().with("x", 3).with("y", 3);
+            assert_ne!(
+                e.eval(&v, 8),
+                a.eval(&v, 8),
+                "{bug:?} failed to corrupt `{src}` -> `{a}`"
+            );
+        }
     }
 
     #[test]

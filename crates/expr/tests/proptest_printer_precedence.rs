@@ -1,0 +1,207 @@
+//! Printer ↔ parser precedence tests (ISSUE satellite).
+//!
+//! The printer claims to emit *minimal* parentheses such that reparsing
+//! reconstructs the exact tree. These tests attack that claim level by
+//! level: for every ordered pair of binary operators — every precedence
+//! relation the grammar has (`|` < `^` < `&` < `+`/`-` < `*` < unary) —
+//! both nestings (`(a op1 b) op2 c` and `a op1 (b op2 c)`) must
+//! round-trip structurally, and the emitted parentheses must be
+//! *necessary*: stripping any minimal-printer parenthesis pair changes
+//! (or breaks) the parse.
+
+use mba_expr::{BinOp, Expr, UnOp};
+use proptest::prelude::*;
+
+const BINOPS: [BinOp; 6] = [
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::And,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+];
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::And),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)]
+}
+
+/// Leaves that cannot themselves trigger precedence effects (positive
+/// constants and variables are atoms).
+fn arb_atom() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i128..=9).prop_map(Expr::Const),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var),
+    ]
+}
+
+/// The parser folds `Neg(Const(c))` into `Const(-c)`; apply the same
+/// normalization before comparing trees (as the existing round-trip
+/// proptest does).
+fn normalize(e: &Expr) -> Expr {
+    mba_expr::visit::transform_bottom_up(e, &mut |n| match n {
+        Expr::Unary(UnOp::Neg, inner) => match *inner {
+            Expr::Const(c) => Expr::Const(-c),
+            other => Expr::unary(UnOp::Neg, other),
+        },
+        other => other,
+    })
+}
+
+fn roundtrips(e: &Expr) -> Result<(), TestCaseError> {
+    let normalized = normalize(e);
+    let printed = normalized.to_string();
+    let reparsed: Expr = printed
+        .parse()
+        .map_err(|err| TestCaseError::fail(format!("`{printed}` does not parse: {err}")))?;
+    prop_assert_eq!(&reparsed, &normalized, "printed `{}`", printed);
+    Ok(())
+}
+
+// Exhaustive two-operator matrix, both association directions: 6 × 6 × 2
+// deterministic shapes per case, expressed over random atoms so constants
+// and variables both appear in every slot.
+proptest! {
+    #[test]
+    fn every_binop_pair_roundtrips_both_nestings(
+        a in arb_atom(),
+        b in arb_atom(),
+        c in arb_atom(),
+    ) {
+        for op1 in BINOPS {
+            for op2 in BINOPS {
+                let left = Expr::binary(op2, Expr::binary(op1, a.clone(), b.clone()), c.clone());
+                roundtrips(&left)?;
+                let right = Expr::binary(op2, a.clone(), Expr::binary(op1, b.clone(), c.clone()));
+                roundtrips(&right)?;
+            }
+        }
+    }
+
+    /// Unary operators over every binary operator and vice versa:
+    /// `~(a op b)`, `-(a op b)`, `(~a) op b`, `a op (-b)`.
+    #[test]
+    fn unary_binary_interactions_roundtrip(
+        a in arb_atom(),
+        b in arb_atom(),
+        u in arb_unop(),
+    ) {
+        for op in BINOPS {
+            roundtrips(&Expr::unary(u, Expr::binary(op, a.clone(), b.clone())))?;
+            roundtrips(&Expr::binary(op, Expr::unary(u, a.clone()), b.clone()))?;
+            roundtrips(&Expr::binary(op, a.clone(), Expr::unary(u, b.clone())))?;
+        }
+    }
+
+    /// Stacked unaries (`~-x`, `-~x`, `~~x`, ...) round-trip at any
+    /// depth. The parser folds `Neg(Const)` so the innermost leaf is a
+    /// variable here.
+    #[test]
+    fn unary_towers_roundtrip(ops in prop::collection::vec(arb_unop(), 1..6)) {
+        let mut e = Expr::var("x");
+        for op in ops {
+            e = Expr::unary(op, e);
+        }
+        roundtrips(&e)?;
+    }
+
+    /// Negative constants print as `-c` (unary precedence) and must
+    /// re-parse into the folded `Const(-c)` in every operand position.
+    #[test]
+    fn negative_constants_in_every_position(c in 1i128..=64, op in arb_binop()) {
+        let neg = Expr::Const(-c);
+        roundtrips(&Expr::binary(op, neg.clone(), Expr::var("x")))?;
+        roundtrips(&Expr::binary(op, Expr::var("x"), neg.clone()))?;
+        roundtrips(&Expr::unary(UnOp::Not, neg))?;
+    }
+
+    /// Minimality: every parenthesis the printer emits is load-bearing.
+    /// Removing any matched pair either changes the parsed tree or
+    /// breaks the parse.
+    #[test]
+    fn printed_parentheses_are_all_necessary(
+        a in arb_atom(),
+        b in arb_atom(),
+        c in arb_atom(),
+    ) {
+        for op1 in BINOPS {
+            for op2 in BINOPS {
+                let e = Expr::binary(op2, a.clone(), Expr::binary(op1, b.clone(), c.clone()));
+                let printed = e.to_string();
+                for (open, close) in paren_pairs(&printed) {
+                    let mut stripped = String::with_capacity(printed.len());
+                    for (i, ch) in printed.char_indices() {
+                        if i != open && i != close {
+                            stripped.push(ch);
+                        }
+                    }
+                    let changed = match stripped.parse::<Expr>() {
+                        Ok(other) => other != e,
+                        Err(_) => true,
+                    };
+                    prop_assert!(
+                        changed,
+                        "parens at {}..{} in `{}` are redundant",
+                        open, close, printed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Matched parenthesis pairs (byte offsets) in `s`.
+fn paren_pairs(s: &str) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '(' => stack.push(i),
+            ')' => pairs.push((stack.pop().expect("balanced parens"), i)),
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "balanced parens in `{s}`");
+    pairs
+}
+
+/// Deterministic spot checks for each precedence boundary, readable as
+/// a table of the grammar.
+#[test]
+fn precedence_table_spot_checks() {
+    for (input, expected) in [
+        // Or < Xor < And < Add < Mul.
+        ("x | y ^ z", "x|y^z"),
+        ("(x | y) ^ z", "(x|y)^z"),
+        ("x ^ y & z", "x^y&z"),
+        ("(x ^ y) & z", "(x^y)&z"),
+        ("x & y + z", "x&y+z"),
+        ("(x & y) + z", "(x&y)+z"),
+        ("x + y * z", "x+y*z"),
+        ("(x + y) * z", "(x+y)*z"),
+        // Sub is left-associative; the right operand needs parens.
+        ("x - y - z", "x-y-z"),
+        ("x - (y - z)", "x-(y-z)"),
+        ("x - (y + z)", "x-(y+z)"),
+        // Unary binds tighter than any binop.
+        ("~x & y", "~x&y"),
+        ("~(x & y)", "~(x&y)"),
+        ("-x * y", "-x*y"),
+        ("-(x * y)", "-(x*y)"),
+    ] {
+        let e: Expr = input.parse().unwrap();
+        assert_eq!(e.to_string(), expected, "for input `{input}`");
+        let reparsed: Expr = e.to_string().parse().unwrap();
+        assert_eq!(reparsed, e, "round-trip of `{input}`");
+    }
+}

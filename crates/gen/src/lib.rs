@@ -15,7 +15,10 @@
 //!   (Definitions 1–2 and the recursive rewriting that produces
 //!   non-poly MBA),
 //! * [`corpus`] — the deterministic 3 × 1000 evaluation corpus with
-//!   Table 1-scale complexity.
+//!   Table 1-scale complexity,
+//! * [`random`] — structural random-AST generation over the full MBA
+//!   grammar (no known ground truth), feeding the `mba-verify`
+//!   differential fuzzer.
 //!
 //! Every generated sample carries its ground truth and is verified by
 //! randomized evaluation at construction time.
@@ -40,7 +43,9 @@ pub mod bitwise;
 pub mod corpus;
 pub mod identities;
 pub mod obfuscate;
+pub mod random;
 pub mod rules;
 
 pub use corpus::{Corpus, CorpusConfig, Sample};
 pub use obfuscate::{ObfuscationKind, Obfuscator};
+pub use random::{random_expr, RandomExprConfig};

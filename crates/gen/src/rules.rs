@@ -94,7 +94,7 @@ mod tests {
     /// random inputs.
     #[test]
     fn every_rule_is_a_width_generic_identity() {
-        let mut rng = StdRng::seed_from_u64(0xCA7A_106);
+        let mut rng = StdRng::seed_from_u64(0x0CA7_A106);
         for rule in catalog() {
             for _ in 0..32 {
                 let v = Valuation::new()

@@ -48,5 +48,5 @@ mod solver;
 mod term;
 
 pub use profile::{RewriteLevel, SolverProfile};
-pub use solver::{CheckOutcome, CheckResult, Counterexample, SmtSolver};
+pub use solver::{CheckOutcome, CheckResult, Counterexample, MiterBudget, SmtSolver};
 pub use term::{TermId, TermKind, TermPool};

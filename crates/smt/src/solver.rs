@@ -41,6 +41,44 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Resource limits for one budgeted equivalence query
+/// ([`SmtSolver::check_equivalence_budgeted`]).
+///
+/// Both limits are optional and independent; whichever is exhausted
+/// first turns the verdict into [`CheckOutcome::Timeout`]. The conflict
+/// budget is deterministic (the same query with the same budget always
+/// stops at the same point), which is what oracle stacks and CI want;
+/// the wall-clock limit is the safety net for pathological blow-ups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiterBudget {
+    /// Maximum SAT conflicts before giving up.
+    pub conflicts: Option<u64>,
+    /// Maximum wall-clock time before giving up.
+    pub timeout: Option<Duration>,
+}
+
+impl MiterBudget {
+    /// An unlimited budget (the query runs to completion).
+    pub fn unlimited() -> MiterBudget {
+        MiterBudget::default()
+    }
+
+    /// A deterministic conflict-bounded budget.
+    pub fn conflicts(conflicts: u64) -> MiterBudget {
+        MiterBudget {
+            conflicts: Some(conflicts),
+            timeout: None,
+        }
+    }
+
+    /// Adds a wall-clock bound to the budget.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> MiterBudget {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
 /// Verdict of an equivalence query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckOutcome {
@@ -111,6 +149,40 @@ impl SmtSolver {
     /// a deterministic stand-in for wall-clock timeouts in tests.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// [`SmtSolver::check_equivalence`] under an explicit per-query
+    /// [`MiterBudget`], leaving the solver's own configuration
+    /// untouched.
+    ///
+    /// This is the entry point oracle stacks use: a shared solver can
+    /// issue many concurrent queries with different budgets without any
+    /// mutable setter races. A budget given here overrides the
+    /// solver-level conflict budget for this query only. The returned
+    /// [`CheckResult`] carries per-solve SAT statistics
+    /// ([`CheckResult::sat_stats`]) so callers can attribute cost to
+    /// individual queries.
+    ///
+    /// ```
+    /// use mba_smt::{CheckOutcome, MiterBudget, SmtSolver, SolverProfile};
+    /// let solver = SmtSolver::new(SolverProfile::boolector_style());
+    /// let lhs = "x*y".parse().unwrap();
+    /// let rhs = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().unwrap();
+    /// let r = solver.check_equivalence_budgeted(&lhs, &rhs, 8, &MiterBudget::conflicts(5));
+    /// // The Figure 1 miter cannot finish in 5 conflicts — and a
+    /// // budgeted query must answer Timeout, never a wrong verdict.
+    /// assert_eq!(r.outcome, CheckOutcome::Timeout);
+    /// ```
+    pub fn check_equivalence_budgeted(
+        &self,
+        lhs: &Expr,
+        rhs: &Expr,
+        width: u32,
+        budget: &MiterBudget,
+    ) -> CheckResult {
+        let mut bounded = self.clone();
+        bounded.conflict_budget = budget.conflicts.or(self.conflict_budget);
+        bounded.check_equivalence(lhs, rhs, width, budget.timeout)
     }
 
     /// Decides whether `lhs == rhs` holds for **all** inputs at

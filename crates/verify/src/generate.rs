@@ -1,0 +1,211 @@
+//! Deterministic fuzz-case generation.
+//!
+//! Two complementary sources feed the fuzzer:
+//!
+//! * **Structural random ASTs** ([`mba_gen::random_expr`]) — arbitrary
+//!   trees over the full MBA grammar with no known ground truth. These
+//!   exercise the simplifier on inputs *outside* the obfuscators'
+//!   image, where normalization bugs hide.
+//! * **Obfuscator cases** ([`mba_gen::Obfuscator`]) — a small ground
+//!   truth is obfuscated into the linear / polynomial / non-polynomial
+//!   categories. These exercise exactly the paper's workload, and the
+//!   known ground truth gives the harness a free extra oracle: the
+//!   simplified output must also agree with the target.
+//!
+//! Every case is a pure function of `(seed, index)` — the worker that
+//! happens to pick up iteration `i` has no influence on what case `i`
+//! is, so `--jobs` never changes the case stream.
+
+use mba_expr::Expr;
+use mba_gen::{random_expr, ObfuscationKind, Obfuscator, RandomExprConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a fuzz case was constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CaseKind {
+    /// Structural random AST, no ground truth.
+    RandomAst,
+    /// Linear MBA obfuscation of a known target.
+    Linear,
+    /// Polynomial MBA obfuscation of a known target.
+    Polynomial,
+    /// Non-polynomial MBA obfuscation of a known target.
+    NonPolynomial,
+}
+
+impl std::fmt::Display for CaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CaseKind::RandomAst => "random-ast",
+            CaseKind::Linear => "linear",
+            CaseKind::Polynomial => "poly",
+            CaseKind::NonPolynomial => "non-poly",
+        })
+    }
+}
+
+/// Tuning knobs for case generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseConfig {
+    /// Structural random-AST generator settings.
+    pub random: RandomExprConfig,
+    /// Fraction of cases built by the obfuscator instead of the
+    /// structural generator (obfuscator kinds rotate evenly).
+    pub obfuscated_fraction: f64,
+    /// Maximum depth of obfuscation ground truths (kept small so the
+    /// obfuscated result stays within oracle reach).
+    pub target_depth: usize,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        CaseConfig {
+            random: RandomExprConfig::default(),
+            obfuscated_fraction: 0.4,
+            target_depth: 2,
+        }
+    }
+}
+
+/// One generated fuzz case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Iteration index the case belongs to.
+    pub index: u64,
+    /// Construction category.
+    pub kind: CaseKind,
+    /// The expression under test.
+    pub expr: Expr,
+    /// Ground truth (obfuscator cases only): `expr ≡ target` holds by
+    /// construction, so the simplified output must match it too.
+    pub target: Option<Expr>,
+}
+
+/// Splits `(seed, index)` into an independent per-case RNG stream.
+///
+/// A plain `seed + index` would make adjacent seeds share most of
+/// their case streams; the 64-bit finalizer decorrelates them.
+pub fn case_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Generates case `index` of the stream rooted at `seed`.
+pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
+    let mut rng = case_rng(seed, index);
+    if rng.gen_bool(config.obfuscated_fraction.clamp(0.0, 1.0)) {
+        let kind = match index % 3 {
+            0 => ObfuscationKind::Linear,
+            1 => ObfuscationKind::Polynomial,
+            _ => ObfuscationKind::NonPolynomial,
+        };
+        let target_config = RandomExprConfig {
+            max_depth: config.target_depth,
+            ..config.random.clone()
+        };
+        let target = random_expr(&mut rng, &target_config);
+        let expr = Obfuscator::new().obfuscate(&target, kind, &mut rng);
+        FuzzCase {
+            index,
+            kind: match kind {
+                ObfuscationKind::Linear => CaseKind::Linear,
+                ObfuscationKind::Polynomial => CaseKind::Polynomial,
+                ObfuscationKind::NonPolynomial => CaseKind::NonPolynomial,
+            },
+            expr,
+            target: Some(target),
+        }
+    } else {
+        FuzzCase {
+            index,
+            kind: CaseKind::RandomAst,
+            expr: random_expr(&mut rng, &config.random),
+            target: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mba_expr::Valuation;
+
+    #[test]
+    fn cases_are_deterministic_in_seed_and_index() {
+        let config = CaseConfig::default();
+        for i in 0..32 {
+            let a = generate_case(42, i, &config);
+            let b = generate_case(42, i, &config);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_indices_give_different_cases() {
+        let config = CaseConfig::default();
+        let distinct: std::collections::BTreeSet<String> = (0..64)
+            .map(|i| generate_case(7, i, &config).expr.to_string())
+            .collect();
+        assert!(distinct.len() > 48, "case stream should not repeat");
+    }
+
+    #[test]
+    fn adjacent_seeds_do_not_share_streams() {
+        let config = CaseConfig::default();
+        let same = (0..64)
+            .filter(|&i| {
+                generate_case(1, i, &config).expr == generate_case(2, i, &config).expr
+            })
+            .count();
+        assert!(same < 8, "seeds 1 and 2 share {same}/64 cases");
+    }
+
+    #[test]
+    fn obfuscated_cases_carry_a_faithful_ground_truth() {
+        let config = CaseConfig {
+            obfuscated_fraction: 1.0,
+            ..CaseConfig::default()
+        };
+        let mut seen_kinds = std::collections::BTreeSet::new();
+        for i in 0..24 {
+            let case = generate_case(11, i, &config);
+            seen_kinds.insert(case.kind);
+            let target = case.target.expect("obfuscated case has a target");
+            let mut rng = case_rng(99, i);
+            for _ in 0..16 {
+                let v: Valuation = case
+                    .expr
+                    .vars()
+                    .into_iter()
+                    .chain(target.vars())
+                    .map(|x| (x, rng.gen()))
+                    .collect();
+                for width in [8, 64] {
+                    assert_eq!(
+                        case.expr.eval(&v, width),
+                        target.eval(&v, width),
+                        "case {i} expr `{}` disagrees with target `{target}`",
+                        case.expr,
+                    );
+                }
+            }
+        }
+        assert_eq!(seen_kinds.len(), 3, "all three obfuscation kinds appear");
+    }
+
+    #[test]
+    fn random_ast_cases_have_no_target() {
+        let config = CaseConfig {
+            obfuscated_fraction: 0.0,
+            ..CaseConfig::default()
+        };
+        for i in 0..16 {
+            let case = generate_case(5, i, &config);
+            assert_eq!(case.kind, CaseKind::RandomAst);
+            assert!(case.target.is_none());
+        }
+    }
+}

@@ -58,7 +58,8 @@ mod tests {
                     s.spawn(move |_| counter.fetch_add(1, Ordering::Relaxed))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).count()
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            joined.len()
         })
         .unwrap();
         assert_eq!(total, 4);

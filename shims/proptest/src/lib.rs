@@ -601,6 +601,10 @@ pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The crate under its conventional prelude alias, matching real
+    /// proptest's `prelude::prop` (for `prop::collection::vec` etc.).
+    pub use crate as prop;
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ..) { body }`
@@ -756,7 +760,7 @@ mod tests {
     fn recursive_strategies_terminate_and_vary() {
         #[derive(Clone, Debug)]
         enum Tree {
-            Leaf(u8),
+            Leaf(#[allow(dead_code)] u8),
             Node(Box<Tree>, Box<Tree>),
         }
         fn depth(t: &Tree) -> usize {
