@@ -62,8 +62,8 @@ fn main() {
     let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
     print!("{}", report::solver_table(&names, &per_profile));
 
-    let (hits, misses) = simplifier.cache_stats();
-    println!("\nMBA-Solver lookup table: {hits} hits, {misses} misses");
+    let lookup = simplifier.cache_stats();
+    println!("\nMBA-Solver lookup table: {lookup}");
     println!(
         "signature cache: {} | batch wall-clock: {:.3}s",
         run.cache,
@@ -75,8 +75,9 @@ fn main() {
         .push_simplify_run(&run)
         .push_int("jobs", config.jobs as u64)
         .push_int("cache_enabled", u64::from(config.use_cache))
-        .push_int("lookup_table_hits", hits)
-        .push_int("lookup_table_misses", misses);
+        .push_int("lookup_table_hits", lookup.hits)
+        .push_int("lookup_table_misses", lookup.misses)
+        .push_float("lookup_table_hit_rate", lookup.hit_rate());
     match telemetry.write() {
         Ok(path) => eprintln!("telemetry written to {}", path.display()),
         Err(e) => eprintln!("telemetry write failed: {e}"),

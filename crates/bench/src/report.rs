@@ -242,6 +242,23 @@ pub fn time_bucket(elapsed: Duration, timed_out: bool) -> &'static str {
     }
 }
 
+/// Nearest-rank percentile of an **unsorted** sample (`p` in `0..=100`);
+/// `0.0` when empty. Sorts a copy, so callers can pass raw latency
+/// vectors straight from a run. `p = 50/95/99` are the serving-layer
+/// latency quantiles `BENCH_serve.json` reports.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: the smallest value with at least p% of the sample
+    // at or below it.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Mean of a sequence, 0 when empty.
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
@@ -329,6 +346,25 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean([]), 0.0);
         assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Unsorted input is fine.
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        // 100 samples: p95 is the 95th smallest, p99 the 99th.
+        let big: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&big, 50.0), 50.0);
+        assert_eq!(percentile(&big, 95.0), 95.0);
+        assert_eq!(percentile(&big, 99.0), 99.0);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&v, 150.0), 5.0);
+        assert_eq!(percentile(&v, -3.0), 1.0);
     }
 
     #[test]

@@ -82,10 +82,7 @@ pub fn simplify_corpus(simplifier: &Simplifier, exprs: &[Expr], jobs: usize) -> 
     SimplifyRun {
         results,
         wall_clock,
-        cache: CacheStats {
-            hits: after.hits - before.hits,
-            misses: after.misses - before.misses,
-        },
+        cache: after.since(&before),
     }
 }
 

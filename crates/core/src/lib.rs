@@ -46,6 +46,7 @@ pub mod poly;
 mod rewrite;
 mod simplifier;
 
+pub use mba_sig::CacheStats;
 pub use poly::Poly;
 pub use simplifier::{
     Basis, InjectedBug, Simplified, Simplifier, SimplifyConfig, SimplifyResult,

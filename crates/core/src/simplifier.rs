@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mba_expr::{metrics, Expr, Ident, MbaClass, Metrics};
-use mba_sig::{catalog, linear_combination, SigCache, SignatureVector};
+use mba_sig::{catalog, linear_combination, CacheStats, SigCache, SignatureVector};
 use parking_lot::Mutex;
 
 use crate::pipeline::Pipeline;
@@ -232,15 +232,24 @@ impl Simplifier {
     /// scheduling cannot leak into outputs
     /// (`tests/differential_cache.rs` holds this pinned).
     pub fn simplify_batch(&self, exprs: &[Expr]) -> Vec<SimplifyResult> {
-        let jobs = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.simplify_batch_with_jobs(exprs, jobs)
+        self.simplify_batch_with_jobs(exprs, 0)
     }
 
-    /// [`Simplifier::simplify_batch`] with an explicit worker count
-    /// (`jobs == 1` runs inline on the calling thread).
+    /// [`Simplifier::simplify_batch`] with an explicit worker count.
+    ///
+    /// `jobs == 0` means "one worker per available core"
+    /// ([`std::thread::available_parallelism`]), `jobs == 1` runs inline
+    /// on the calling thread, and any count is capped at the batch
+    /// length. The worker count never affects outputs — results are
+    /// byte-identical across any `jobs` value.
     pub fn simplify_batch_with_jobs(&self, exprs: &[Expr], jobs: usize) -> Vec<SimplifyResult> {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
         let jobs = jobs.clamp(1, exprs.len().max(1));
         if jobs == 1 {
             return exprs.iter().map(|e| self.simplify_detailed(e)).collect();
@@ -302,13 +311,19 @@ impl Simplifier {
         }
     }
 
-    /// `(hits, misses)` of the lookup table since construction (or the
-    /// last [`Simplifier::clear_cache`]).
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
+    /// Hit/miss counters of the expression-level lookup table since
+    /// construction (or the last [`Simplifier::clear_cache`]).
+    ///
+    /// Distinct from [`Simplifier::sig_cache`]'s counters: this table
+    /// memoizes whole `expression → result` rounds, the signature cache
+    /// memoizes the truth-table/basis layer underneath. Both report
+    /// through the same [`CacheStats`] shape
+    /// (`hit_rate()` / `lookups()`).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Empties the lookup table and resets its counters.
@@ -717,13 +732,15 @@ mod tests {
         let s = Simplifier::new();
         let e: Expr = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
         s.simplify(&e);
-        let (_, misses_first) = s.cache_stats();
+        let misses_first = s.cache_stats().misses;
         s.simplify(&e);
-        let (hits, _) = s.cache_stats();
-        assert!(hits > 0, "second run must hit the lookup table");
+        let stats = s.cache_stats();
+        assert!(stats.hits > 0, "second run must hit the lookup table");
         assert!(misses_first > 0);
+        assert!(stats.hit_rate() > 0.0);
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
         s.clear_cache();
-        assert_eq!(s.cache_stats(), (0, 0));
+        assert_eq!(s.cache_stats(), CacheStats::default());
     }
 
     #[test]
@@ -734,7 +751,37 @@ mod tests {
         });
         let e: Expr = "x + y - 2*(x&y)".parse().unwrap();
         assert_eq!(s.simplify(&e).to_string(), "x^y");
-        assert_eq!(s.cache_stats(), (0, 0));
+        assert_eq!(s.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn batch_jobs_zero_one_and_many_are_byte_identical() {
+        // `jobs == 0` resolves to available parallelism; any worker
+        // count must leave outputs unchanged (input order, byte-level).
+        let exprs: Vec<Expr> = [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "x + y - 2*(x&y)",
+            "(x&~y)*(~x&y) + (x&y)*(x|y)",
+            "~(x - 1)",
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x*y | z) + (x*y & z)",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let reference: Vec<String> = {
+            let s = Simplifier::new();
+            exprs.iter().map(|e| s.simplify(e).to_string()).collect()
+        };
+        for jobs in [0usize, 1, 64] {
+            let s = Simplifier::new();
+            let got: Vec<String> = s
+                .simplify_batch_with_jobs(&exprs, jobs)
+                .iter()
+                .map(|r| r.output.to_string())
+                .collect();
+            assert_eq!(got, reference, "jobs={jobs} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Load generator for `mba_serve`: replays a deterministic
+//! generator-built corpus (the `mba-verify` case stream — mixed
+//! linear / polynomial / non-polynomial obfuscations plus structural
+//! random ASTs) at configurable concurrency, then writes
+//! `BENCH_serve.json` with throughput, p50/p95/p99 latency, error
+//! counts, and end-of-run cache statistics.
+//!
+//! ```text
+//! mba_loadgen [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!             [--seed N] [--width 1..=64] [--deadline-ms N]
+//!             [--obfuscated-fraction F] [--no-shutdown]
+//!             [--require-warming] [--allow-errors]
+//! ```
+//!
+//! Exit status: 0 only when every request was answered without an
+//! error response (unless `--allow-errors`) and, under
+//! `--require-warming`, the shared cache's hit rate was strictly
+//! higher over the second half of the run than the first.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use mba_bench::report::{percentile, BenchReport};
+use mba_serve::Client;
+use mba_verify::{generate_case, CaseConfig};
+
+#[derive(Debug, Clone)]
+struct LoadConfig {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    width: u32,
+    deadline_ms: Option<u64>,
+    obfuscated_fraction: f64,
+    shutdown: bool,
+    require_warming: bool,
+    allow_errors: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7474".into(),
+            requests: 2000,
+            concurrency: 8,
+            seed: 42,
+            width: 64,
+            deadline_ms: None,
+            obfuscated_fraction: 0.75,
+            shutdown: true,
+            require_warming: false,
+            allow_errors: false,
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: mba_loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] \
+     [--seed N] [--width 1..=64] [--deadline-ms N] [--obfuscated-fraction F] \
+     [--no-shutdown] [--require-warming] [--allow-errors]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
+    let mut config = LoadConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("--addr")?.clone(),
+            "--requests" => config.requests = parse_num(take("--requests")?)?,
+            "--concurrency" => {
+                config.concurrency = parse_num(take("--concurrency")?)?;
+                if config.concurrency == 0 {
+                    return Err("--concurrency must be positive".into());
+                }
+            }
+            "--seed" => config.seed = parse_num(take("--seed")?)?,
+            "--width" => {
+                config.width = parse_num(take("--width")?)?;
+                if !(1..=64).contains(&config.width) {
+                    return Err("--width must be in 1..=64".into());
+                }
+            }
+            "--deadline-ms" => config.deadline_ms = Some(parse_num(take("--deadline-ms")?)?),
+            "--obfuscated-fraction" => {
+                config.obfuscated_fraction = parse_num(take("--obfuscated-fraction")?)?;
+                if !(0.0..=1.0).contains(&config.obfuscated_fraction) {
+                    return Err("--obfuscated-fraction must be in 0..=1".into());
+                }
+            }
+            "--no-shutdown" => config.shutdown = false,
+            "--require-warming" => config.require_warming = true,
+            "--allow-errors" => config.allow_errors = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("malformed numeric value `{s}`"))
+}
+
+/// One completed request, as observed by the client.
+struct Sample {
+    /// Completion instant, as an offset from run start (for the
+    /// first-half / second-half cache-warming split).
+    completed_at_micros: u64,
+    /// Client-observed round-trip latency.
+    latency_micros: u64,
+    /// The server-reported cumulative cache hit rate at completion.
+    cache_hit_rate: f64,
+    /// The error code, when the response was an error.
+    error: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "generating {} cases (seed {}, obfuscated fraction {:.2}) ...",
+        config.requests, config.seed, config.obfuscated_fraction
+    );
+    let case_config = CaseConfig {
+        obfuscated_fraction: config.obfuscated_fraction,
+        ..CaseConfig::default()
+    };
+    let exprs: Vec<String> = (0..config.requests as u64)
+        .map(|i| generate_case(config.seed, i, &case_config).expr.to_string())
+        .collect();
+
+    eprintln!(
+        "replaying against {} on {} connections ...",
+        config.addr, config.concurrency
+    );
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut transport_errors = 0u64;
+    let mut samples: Vec<Sample> = Vec::with_capacity(config.requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.concurrency)
+            .map(|_| {
+                let next = &next;
+                let exprs = &exprs;
+                let config = &config;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut failures = 0u64;
+                    let mut client = match Client::connect(&config.addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("connect to {} failed: {e}", config.addr);
+                            return (local, 1);
+                        }
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(expr) = exprs.get(i) else { break };
+                        let sent = Instant::now();
+                        match client.simplify(i as u64, expr, config.width, config.deadline_ms)
+                        {
+                            Ok(response) => {
+                                let latency = sent.elapsed();
+                                let mismatched = response.id() != Some(i as u64);
+                                local.push(Sample {
+                                    completed_at_micros: start.elapsed().as_micros() as u64,
+                                    latency_micros: latency.as_micros() as u64,
+                                    cache_hit_rate: response
+                                        .num_field("cache_hit_rate")
+                                        .unwrap_or(0.0),
+                                    error: response
+                                        .error()
+                                        .map(str::to_string)
+                                        .or(mismatched.then(|| "id_mismatch".into())),
+                                });
+                            }
+                            Err(e) => {
+                                eprintln!("request {i} failed: {e}");
+                                failures += 1;
+                            }
+                        }
+                    }
+                    (local, failures)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, failures) = h.join().expect("client thread panicked");
+            samples.extend(local);
+            transport_errors += failures;
+        }
+    });
+    let wall = start.elapsed();
+
+    // ---------------------------------------------------------------
+    // Aggregate.
+    // ---------------------------------------------------------------
+    let latencies: Vec<f64> = samples.iter().map(|s| s.latency_micros as f64).collect();
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let mean = mba_bench::report::mean(latencies.iter().copied());
+    let error_responses = samples.iter().filter(|s| s.error.is_some()).count() as u64;
+    let overload_responses = samples
+        .iter()
+        .filter(|s| s.error.as_deref() == Some("overloaded"))
+        .count() as u64;
+    let throughput = samples.len() as f64 / wall.as_secs_f64().max(1e-9);
+
+    // Cache warming: cumulative hit rate as reported per response,
+    // averaged over the first and second halves of the run (completion
+    // order). A warm shared cache makes the second strictly higher.
+    let mut by_completion: Vec<&Sample> = samples.iter().collect();
+    by_completion.sort_by_key(|s| s.completed_at_micros);
+    let mid = by_completion.len() / 2;
+    let half_rate = |half: &[&Sample]| {
+        mba_bench::report::mean(half.iter().map(|s| s.cache_hit_rate))
+    };
+    let (first_half, second_half) = by_completion.split_at(mid);
+    let rate_first = half_rate(first_half);
+    let rate_second = half_rate(second_half);
+    let warmed = rate_second > rate_first;
+
+    println!(
+        "{} requests in {:.3}s  ({:.0} req/s, concurrency {})",
+        samples.len(),
+        wall.as_secs_f64(),
+        throughput,
+        config.concurrency
+    );
+    println!(
+        "latency micros: p50={p50:.0} p95={p95:.0} p99={p99:.0} mean={mean:.0}"
+    );
+    println!(
+        "errors: {error_responses} (overloaded: {overload_responses}, transport: {transport_errors})"
+    );
+    println!(
+        "cache hit rate: first half {rate_first:.4} -> second half {rate_second:.4} ({})",
+        if warmed { "warming" } else { "NOT warming" }
+    );
+
+    // ---------------------------------------------------------------
+    // End-of-run server stats + graceful shutdown.
+    // ---------------------------------------------------------------
+    let mut served = 0u64;
+    let mut overloaded_server = 0u64;
+    let mut deadline_expired = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut cache_hit_rate_end = 0.0f64;
+    let mut clean_shutdown = !config.shutdown;
+    match Client::connect(&config.addr) {
+        Err(e) => eprintln!("stats connection failed: {e}"),
+        Ok(mut control) => {
+            match control.stats() {
+                Ok(stats) => {
+                    served = stats.u64_field("served").unwrap_or(0);
+                    overloaded_server = stats.u64_field("overloaded").unwrap_or(0);
+                    deadline_expired = stats.u64_field("deadline_expired").unwrap_or(0);
+                    cache_hits = stats.u64_field("cache_hits").unwrap_or(0);
+                    cache_misses = stats.u64_field("cache_misses").unwrap_or(0);
+                    cache_hit_rate_end = stats.num_field("cache_hit_rate").unwrap_or(0.0);
+                    println!(
+                        "server: served={served} overloaded={overloaded_server} \
+                         deadline_expired={deadline_expired} cache={cache_hits}h/{cache_misses}m \
+                         ({cache_hit_rate_end:.4})"
+                    );
+                }
+                Err(e) => eprintln!("stats request failed: {e}"),
+            }
+            if config.shutdown {
+                match control.shutdown() {
+                    Ok(ack) if ack.str_field("ok") == Some("shutdown") => {
+                        println!(
+                            "graceful shutdown acknowledged (drained, {} served)",
+                            ack.u64_field("served").unwrap_or(0)
+                        );
+                        clean_shutdown = true;
+                    }
+                    Ok(other) => eprintln!("unexpected shutdown reply: {}", other.raw),
+                    Err(e) => eprintln!("shutdown failed: {e}"),
+                }
+            }
+        }
+    }
+
+    let mut telemetry = BenchReport::new("serve");
+    telemetry
+        .push_int("requests", config.requests as u64)
+        .push_int("completed", samples.len() as u64)
+        .push_int("concurrency", config.concurrency as u64)
+        .push_int("seed", config.seed)
+        .push_int("width", u64::from(config.width))
+        .push_float("wall_clock_s", wall.as_secs_f64())
+        .push_float("throughput_rps", throughput)
+        .push_float("latency_p50_micros", p50)
+        .push_float("latency_p95_micros", p95)
+        .push_float("latency_p99_micros", p99)
+        .push_float("latency_mean_micros", mean)
+        .push_int("error_responses", error_responses)
+        .push_int("overload_responses", overload_responses)
+        .push_int("transport_errors", transport_errors)
+        .push_int("server_served", served)
+        .push_int("server_overloaded", overloaded_server)
+        .push_int("server_deadline_expired", deadline_expired)
+        .push_int("cache_hits", cache_hits)
+        .push_int("cache_misses", cache_misses)
+        .push_float("cache_hit_rate", cache_hit_rate_end)
+        .push_float("cache_hit_rate_first_half", rate_first)
+        .push_float("cache_hit_rate_second_half", rate_second)
+        .push_bool("cache_warming", warmed)
+        .push_bool("clean_shutdown", clean_shutdown);
+    match telemetry.write() {
+        Ok(path) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+
+    let incomplete = samples.len() != config.requests;
+    let errored = error_responses > 0 || transport_errors > 0 || incomplete;
+    if errored && !config.allow_errors {
+        eprintln!("FAIL: errors present (or run incomplete)");
+        return ExitCode::FAILURE;
+    }
+    if config.require_warming && !warmed {
+        eprintln!("FAIL: cache hit rate did not rise in the second half");
+        return ExitCode::FAILURE;
+    }
+    if config.shutdown && !clean_shutdown {
+        eprintln!("FAIL: graceful shutdown not acknowledged");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

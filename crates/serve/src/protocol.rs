@@ -1,0 +1,689 @@
+//! The wire protocol: newline-delimited JSON objects, one message per
+//! line, in both directions.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id": 7, "expr": "2*(x|y) - (~x&y) - (x&~y)", "width": 64, "deadline_ms": 250}
+//! {"control": "stats"}
+//! {"control": "ping"}
+//! {"control": "shutdown"}
+//! ```
+//!
+//! `width` (default 64) and `deadline_ms` (default: none) are optional;
+//! unknown fields are **ignored** for forward compatibility. Responses
+//! either succeed:
+//!
+//! ```text
+//! {"id": 7, "simplified": "x+y", "node_count_in": 13, "node_count_out": 3,
+//!  "micros": 412, "cache_hit_rate": 0.83}
+//! ```
+//!
+//! or carry an `error` code (`parse`, `invalid`, `overloaded`,
+//! `deadline`, `shutting_down`) plus a human-readable `detail`. An
+//! error answers the offending *line* only — the connection and the
+//! worker pool always survive.
+//!
+//! The workspace has no JSON dependency (the build environment is
+//! offline), so this module carries a small recursive-descent JSON
+//! parser and a hand renderer, both total: any input either parses or
+//! yields a `parse` error, and rendering escapes everything JSON
+//! requires.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Upper bound on one protocol line, in bytes. A line longer than this
+/// is answered with an `invalid` error and discarded up to the next
+/// newline; the connection survives. Generous enough for any realistic
+/// MBA expression (the paper's corpus averages ~120 characters).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Maximum JSON nesting depth the parser accepts (the protocol itself
+/// is flat; the bound only stops adversarial `[[[[…` stack growth).
+const MAX_JSON_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (lossy for integers above 2^53, which the
+    /// protocol never uses).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is irrelevant to the protocol.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to consume the whole input.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on any syntax error.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf-8".to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("malformed number `{text}` at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        // Surrogates render as U+FFFD; the protocol never
+                        // emits them, so no pairing logic is warranted.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences were
+                // validated when the line was decoded).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf-8".to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string key at byte {}", *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos, depth + 1)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Typed request layer.
+// ---------------------------------------------------------------------
+
+/// A simplification request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The expression to simplify, in the `mba-expr` surface syntax.
+    pub expr: String,
+    /// Bit width of the target ring (1..=64).
+    pub width: u32,
+    /// Serving deadline: a request older than this when (or after) a
+    /// worker handles it is answered with a `deadline` error.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A control request (no expression payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Liveness probe; answered immediately from the connection thread.
+    Ping,
+    /// Snapshot of serving counters and cache statistics.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain in-flight work, flush
+    /// responses, ack, exit 0.
+    Shutdown,
+}
+
+/// One decoded client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMessage {
+    /// A simplification request.
+    Simplify(Request),
+    /// A control request, with the optional correlation id.
+    Control(Control, Option<u64>),
+}
+
+/// Machine-readable error codes carried in the `error` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    Parse,
+    /// The line was JSON but not a valid request (bad field types,
+    /// missing `expr`, out-of-range `width`, oversized line, or an
+    /// expression that does not parse).
+    Invalid,
+    /// The bounded request queue was full — explicit backpressure.
+    Overloaded,
+    /// The request's `deadline_ms` expired before a result was ready.
+    Deadline,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Invalid => "invalid",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level rejection of one line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The request id, when the line got far enough to reveal one.
+    pub id: Option<u64>,
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// Convenience constructor.
+    pub fn new(id: Option<u64>, code: ErrorCode, detail: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            id,
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Decodes one request line into a [`ClientMessage`].
+///
+/// Unknown fields are ignored; known fields with wrong types are
+/// errors. Field semantics are documented on [`Request`].
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (`parse` or `invalid`) describing the
+/// first problem found; the caller answers it and keeps the connection.
+pub fn decode_line(line: &str) -> Result<ClientMessage, ProtocolError> {
+    let json = parse_json(line.trim())
+        .map_err(|e| ProtocolError::new(None, ErrorCode::Parse, e))?;
+    let obj = json.as_obj().ok_or_else(|| {
+        ProtocolError::new(None, ErrorCode::Invalid, "request must be a JSON object")
+    })?;
+    // Surface the id in errors whenever it is present and well-formed.
+    let id = obj.get("id").and_then(Json::as_u64);
+    if let Some(v) = obj.get("id") {
+        if v.as_u64().is_none() {
+            return Err(ProtocolError::new(
+                None,
+                ErrorCode::Invalid,
+                "`id` must be a non-negative integer",
+            ));
+        }
+    }
+
+    if let Some(control) = obj.get("control") {
+        let name = control.as_str().ok_or_else(|| {
+            ProtocolError::new(id, ErrorCode::Invalid, "`control` must be a string")
+        })?;
+        let control = match name {
+            "ping" => Control::Ping,
+            "stats" => Control::Stats,
+            "shutdown" => Control::Shutdown,
+            other => {
+                return Err(ProtocolError::new(
+                    id,
+                    ErrorCode::Invalid,
+                    format!("unknown control `{other}`"),
+                ))
+            }
+        };
+        return Ok(ClientMessage::Control(control, id));
+    }
+
+    let id = id.ok_or_else(|| {
+        ProtocolError::new(None, ErrorCode::Invalid, "missing `id` field")
+    })?;
+    let expr = obj
+        .get("expr")
+        .ok_or_else(|| ProtocolError::new(Some(id), ErrorCode::Invalid, "missing `expr` field"))?
+        .as_str()
+        .ok_or_else(|| {
+            ProtocolError::new(Some(id), ErrorCode::Invalid, "`expr` must be a string")
+        })?
+        .to_string();
+    let width = match obj.get("width") {
+        None => 64,
+        Some(v) => {
+            let w = v.as_u64().unwrap_or(0);
+            if !(1..=64).contains(&w) {
+                return Err(ProtocolError::new(
+                    Some(id),
+                    ErrorCode::Invalid,
+                    "`width` must be an integer in 1..=64",
+                ));
+            }
+            w as u32
+        }
+    };
+    let deadline_ms = match obj.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            ProtocolError::new(
+                Some(id),
+                ErrorCode::Invalid,
+                "`deadline_ms` must be a non-negative integer",
+            )
+        })?),
+    };
+    Ok(ClientMessage::Simplify(Request {
+        id,
+        expr,
+        width,
+        deadline_ms,
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Response rendering. One line each, no trailing newline — the writer
+// appends it, so a response can never smuggle a line break.
+// ---------------------------------------------------------------------
+
+/// A successful simplification, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The simplified expression, printed canonically.
+    pub simplified: String,
+    /// AST node count of the input.
+    pub node_count_in: u64,
+    /// AST node count of the output.
+    pub node_count_out: u64,
+    /// End-to-end service time in microseconds (queue wait included —
+    /// this is the latency the client experienced, minus network).
+    pub micros: u64,
+    /// The shared signature cache's cumulative hit rate at completion.
+    pub cache_hit_rate: f64,
+}
+
+/// Renders a success line.
+pub fn render_reply(r: &Reply) -> String {
+    format!(
+        "{{\"id\":{},\"simplified\":\"{}\",\"node_count_in\":{},\"node_count_out\":{},\"micros\":{},\"cache_hit_rate\":{:.6}}}",
+        r.id,
+        json_escape(&r.simplified),
+        r.node_count_in,
+        r.node_count_out,
+        r.micros,
+        r.cache_hit_rate,
+    )
+}
+
+/// Renders an error line.
+pub fn render_error(e: &ProtocolError) -> String {
+    match e.id {
+        Some(id) => format!(
+            "{{\"id\":{},\"error\":\"{}\",\"detail\":\"{}\"}}",
+            id,
+            e.code,
+            json_escape(&e.detail)
+        ),
+        None => format!(
+            "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+            e.code,
+            json_escape(&e.detail)
+        ),
+    }
+}
+
+/// Renders a control acknowledgement (`{"ok":"ping"}` etc.), with the
+/// request's id echoed when it sent one and extra pre-rendered fields
+/// appended verbatim.
+pub fn render_ok(kind: &str, id: Option<u64>, extra_fields: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\":{id},"));
+    }
+    out.push_str(&format!("\"ok\":\"{}\"", json_escape(kind)));
+    for (k, v) in extra_fields {
+        out.push_str(&format!(",\"{}\":{}", json_escape(k), v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            parse_json("\"a\\nb\\u0041\"").unwrap(),
+            Json::Str("a\nbA".into())
+        );
+        assert_eq!(
+            parse_json("[1, [2], {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0)]),
+                Json::Obj(BTreeMap::new())
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}", "tru", "\"open",
+            "{\"a\":1} trailing", "{'a':1}", "{\"a\":01x}",
+        ] {
+            assert!(parse_json(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&deep).is_err());
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn decode_full_request() {
+        let m = decode_line(
+            r#"{"id": 3, "expr": "x + y", "width": 16, "deadline_ms": 100}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            m,
+            ClientMessage::Simplify(Request {
+                id: 3,
+                expr: "x + y".into(),
+                width: 16,
+                deadline_ms: Some(100),
+            })
+        );
+    }
+
+    #[test]
+    fn decode_applies_defaults_and_ignores_unknown_fields() {
+        let m = decode_line(r#"{"id":0,"expr":"x","future_knob":[1,2],"tag":"abc"}"#).unwrap();
+        let ClientMessage::Simplify(r) = m else {
+            panic!("expected simplify")
+        };
+        assert_eq!(r.width, 64);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn decode_controls() {
+        assert_eq!(
+            decode_line(r#"{"control":"shutdown"}"#).unwrap(),
+            ClientMessage::Control(Control::Shutdown, None)
+        );
+        assert_eq!(
+            decode_line(r#"{"id":9,"control":"stats"}"#).unwrap(),
+            ClientMessage::Control(Control::Stats, Some(9))
+        );
+        assert_eq!(
+            decode_line(r#"{"control":"ping"}"#).unwrap(),
+            ClientMessage::Control(Control::Ping, None)
+        );
+    }
+
+    #[test]
+    fn decode_errors_carry_codes_and_ids() {
+        let e = decode_line("not json").unwrap_err();
+        assert_eq!(e.code, ErrorCode::Parse);
+        let e = decode_line(r#"{"expr":"x"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
+        assert_eq!(e.id, None);
+        let e = decode_line(r#"{"id":5}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(5), ErrorCode::Invalid));
+        let e = decode_line(r#"{"id":5,"expr":"x","width":65}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(5), ErrorCode::Invalid));
+        let e = decode_line(r#"{"id":5,"expr":"x","width":0}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
+        let e = decode_line(r#"{"id":-1,"expr":"x"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
+        let e = decode_line(r#"{"id":5,"expr":7}"#).unwrap_err();
+        assert_eq!((e.id, e.code), (Some(5), ErrorCode::Invalid));
+        let e = decode_line(r#"{"control":"reboot"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let line = render_reply(&Reply {
+            id: 12,
+            simplified: "x+y".into(),
+            node_count_in: 13,
+            node_count_out: 3,
+            micros: 412,
+            cache_hit_rate: 0.5,
+        });
+        let obj = parse_json(&line).unwrap();
+        let obj = obj.as_obj().unwrap();
+        assert_eq!(obj["id"].as_u64(), Some(12));
+        assert_eq!(obj["simplified"].as_str(), Some("x+y"));
+        assert_eq!(obj["micros"].as_u64(), Some(412));
+
+        let line = render_error(&ProtocolError::new(
+            Some(3),
+            ErrorCode::Overloaded,
+            "queue full (capacity 256)",
+        ));
+        let parsed = parse_json(&line).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj["error"].as_str(), Some("overloaded"));
+        assert_eq!(obj["id"].as_u64(), Some(3));
+
+        let line = render_ok("stats", None, &[("served".into(), "7".into())]);
+        let parsed = parse_json(&line).unwrap();
+        assert_eq!(parsed.as_obj().unwrap()["served"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        let hostile = "a\"b\\c\nd\te\r\u{1}";
+        let line = render_error(&ProtocolError::new(None, ErrorCode::Parse, hostile));
+        let parsed = parse_json(&line).unwrap();
+        assert_eq!(
+            parsed.as_obj().unwrap()["detail"].as_str(),
+            Some(hostile)
+        );
+    }
+}

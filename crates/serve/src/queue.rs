@@ -1,0 +1,187 @@
+//! A bounded MPMC queue with *rejecting* backpressure.
+//!
+//! The serving layer's load-shedding contract lives here: producers
+//! (connection readers) never block and never buffer unboundedly —
+//! [`BoundedQueue::try_push`] either enqueues or fails immediately, and
+//! the caller turns the failure into an `overloaded` response. Workers
+//! block on [`BoundedQueue::pop`] until an item arrives or the queue is
+//! closed **and drained**, which is exactly the graceful-shutdown
+//! sequence: close, let workers finish the backlog, join.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; shed the load.
+    Full,
+    /// The queue was closed for shutdown; no new work is accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. All methods take `&self`; share it via `Arc`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (racy by nature; telemetry only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (telemetry only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; the item is returned alongside so the
+    /// caller can answer its originator.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available, returning `None` only when
+    /// the queue is closed **and** the backlog is fully drained — so a
+    /// `close()` never drops accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, poppers drain the backlog
+    /// then observe the close. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_recovers_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (err, item) = q.try_push(3).unwrap_err();
+        assert_eq!((err, item), (PushError::Full, 3));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_before_ending_poppers() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c").unwrap_err().0, PushError::Closed);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // idempotent
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2).unwrap_err().0, PushError::Full);
+    }
+
+    #[test]
+    fn blocked_popper_wakes_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        // Give the popper a moment to block, then feed and close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        q.try_push(8).unwrap();
+        q.close();
+        assert_eq!(popper.join().unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        q.try_push(t * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
+    }
+}

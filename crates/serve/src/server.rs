@@ -1,0 +1,626 @@
+//! The resident simplification server.
+//!
+//! Thread architecture (one process, no async runtime — `std::net`
+//! blocking I/O with short read timeouts):
+//!
+//! ```text
+//!             ┌─────────────┐   accept   ┌──────────────────┐
+//!  clients ──▶│  acceptor   │──────────▶│ connection reader │ (1/conn)
+//!             └─────────────┘            └────────┬─────────┘
+//!                                                 │ try_push (never blocks)
+//!                                        ┌────────▼─────────┐
+//!                                        │  BoundedQueue    │──full──▶ {"error":"overloaded"}
+//!                                        └────────┬─────────┘
+//!                                                 │ pop
+//!                                        ┌────────▼─────────┐
+//!                                        │   worker pool    │ shares one Arc<SigCache>
+//!                                        └────────┬─────────┘
+//!                                                 │ per-connection write mutex
+//!                                                 ▼ responses (any order, matched by id)
+//! ```
+//!
+//! **Backpressure.** Readers enqueue with [`BoundedQueue::try_push`];
+//! a full queue is answered immediately with an `overloaded` error —
+//! the server sheds load instead of queueing unboundedly, and stays
+//! live for later requests.
+//!
+//! **Deadlines.** A request carrying `deadline_ms` is checked against
+//! its arrival time when a worker dequeues it and again after
+//! simplification; either way past-deadline work is answered with a
+//! `deadline` error, never silently dropped. Simplification itself is
+//! not preempted (the simplifier has no cancellation points), so the
+//! deadline bounds *useful* work, not worst-case occupancy.
+//!
+//! **Graceful shutdown.** A `{"control":"shutdown"}` request flips the
+//! shutdown flag; the acceptor stops (unblocked by a loopback
+//! self-connection), readers wind down at their next read-timeout tick,
+//! the queue closes and workers drain the backlog, every in-flight
+//! response is flushed, and only then is the shutdown acknowledged and
+//! the process free to exit 0.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use mba_sig::{CacheStats, SigCache};
+use mba_solver::{Simplifier, SimplifyConfig};
+
+use crate::protocol::{
+    decode_line, render_error, render_ok, render_reply, ClientMessage, Control, ErrorCode,
+    ProtocolError, Reply, Request, MAX_LINE_BYTES,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// How often blocked readers and the acceptor re-check the shutdown
+/// flag. Bounds shutdown latency, not request latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bounded request-queue capacity — the backpressure threshold.
+    pub queue_capacity: usize,
+    /// Maximum accepted line length in bytes.
+    pub max_line_bytes: usize,
+    /// Test-only throttle: hold each job for this long before
+    /// simplifying, to make queue-overflow behaviour deterministic in
+    /// tests. Always `None` in production configurations.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 256,
+            max_line_bytes: MAX_LINE_BYTES,
+            worker_delay: None,
+        }
+    }
+}
+
+/// Monotonic serving counters, all `Relaxed` (telemetry only).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests answered with a simplified expression.
+    pub served: AtomicU64,
+    /// Lines rejected at the protocol layer (`parse` / `invalid`).
+    pub protocol_errors: AtomicU64,
+    /// Requests shed by backpressure.
+    pub overloaded: AtomicU64,
+    /// Requests answered with a `deadline` error.
+    pub deadline_expired: AtomicU64,
+}
+
+/// A per-connection response writer, shared between the reader thread
+/// (protocol errors, control acks) and the worker pool (results).
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// State shared by the acceptor, readers, and workers.
+pub struct ServerState {
+    sig_cache: Arc<SigCache>,
+    /// One simplifier per requested width, all sharing `sig_cache`.
+    /// Width changes the coefficient ring, so results are width-keyed;
+    /// the signature layer underneath is width-generic and shared.
+    simplifiers: RwLock<HashMap<u32, Arc<Simplifier>>>,
+    shutting_down: AtomicBool,
+    /// Serving counters.
+    pub counters: Counters,
+    /// Writers owed a shutdown acknowledgement once draining finishes.
+    ackers: Mutex<Vec<(Option<u64>, SharedWriter)>>,
+}
+
+impl ServerState {
+    fn new() -> ServerState {
+        ServerState {
+            sig_cache: Arc::new(SigCache::new()),
+            simplifiers: RwLock::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            counters: Counters::default(),
+            ackers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared signature cache (all widths, all connections).
+    pub fn sig_cache(&self) -> &Arc<SigCache> {
+        &self.sig_cache
+    }
+
+    /// Cumulative signature-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.sig_cache.stats()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn simplifier_for(&self, width: u32) -> Arc<Simplifier> {
+        if let Some(s) = self.simplifiers.read().unwrap().get(&width) {
+            return Arc::clone(s);
+        }
+        let mut map = self.simplifiers.write().unwrap();
+        Arc::clone(map.entry(width).or_insert_with(|| {
+            Arc::new(Simplifier::with_cache(
+                SimplifyConfig {
+                    width,
+                    ..SimplifyConfig::default()
+                },
+                Arc::clone(&self.sig_cache),
+            ))
+        }))
+    }
+}
+
+/// One unit of queued work.
+struct Job {
+    request: Request,
+    received: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+    queue: Arc<BoundedQueue<Job>>,
+}
+
+impl Server {
+    /// Binds the listener (port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            state: Arc::new(ServerState::new()),
+            queue,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (counters and caches), e.g. for tests.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until a `shutdown` control request, then drains and
+    /// returns. Returning `Ok(())` means every accepted request was
+    /// answered and flushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-level I/O failures only; per-connection
+    /// errors are contained.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            local_addr,
+            config,
+            state,
+            queue,
+        } = self;
+
+        let workers: Vec<_> = (0..effective_workers(config.workers))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let delay = config.worker_delay;
+                std::thread::spawn(move || worker_loop(&queue, &state, delay))
+            })
+            .collect();
+
+        let mut connections = Vec::new();
+        for stream in listener.incoming() {
+            if state.is_shutting_down() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let max_line = config.max_line_bytes;
+            connections.push(std::thread::spawn(move || {
+                // A failed socket setup just drops the connection.
+                let _ = handle_connection(stream, &state, &queue, max_line, local_addr);
+            }));
+        }
+
+        // Shutdown: readers exit at their next poll tick, the queue
+        // closes once no reader can enqueue, and workers drain what was
+        // accepted. Join order matters — readers first, so every
+        // enqueue happens before close().
+        for c in connections {
+            let _ = c.join();
+        }
+        queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        // All responses are flushed; acknowledge the shutdown callers.
+        let ackers = std::mem::take(&mut *state.ackers.lock().unwrap());
+        let drained = state.counters.served.load(Ordering::Relaxed);
+        for (id, writer) in ackers {
+            write_line(
+                &writer,
+                &render_ok("shutdown", id, &[("served".into(), drained.to_string())]),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn effective_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Writes one response line (appending the newline) and flushes.
+/// Write errors mean the client is gone; the server does not care.
+fn write_line(writer: &Mutex<TcpStream>, line: &str) {
+    let mut w = writer.lock().unwrap();
+    let _ = w
+        .write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .and_then(|()| w.flush());
+}
+
+/// Reads newline-delimited requests off one connection until EOF or
+/// shutdown. Protocol errors are answered per line; nothing a client
+/// sends can take down the reader, let alone the worker pool.
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<ServerState>,
+    queue: &BoundedQueue<Job>,
+    max_line_bytes: usize,
+    local_addr: SocketAddr,
+) -> std::io::Result<()> {
+    // Short read timeouts turn the blocking read into a poll loop on
+    // the shutdown flag.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    // When a line overflows `max_line_bytes` it is answered once and
+    // the remainder (up to the next newline) silently discarded.
+    let mut discarding = false;
+
+    loop {
+        match read_until_newline(&mut reader, &mut buf) {
+            ReadOutcome::WouldBlock => {
+                if state.is_shutting_down() {
+                    return Ok(());
+                }
+                if !discarding && buf.len() > max_line_bytes {
+                    reject_oversized(state, &writer, max_line_bytes);
+                    discarding = true;
+                    buf.clear();
+                }
+                continue;
+            }
+            ReadOutcome::Eof => {
+                if !buf.is_empty() && !discarding {
+                    // Final unterminated line: still a request.
+                    handle_line(&buf, state, queue, &writer, local_addr);
+                }
+                return Ok(());
+            }
+            ReadOutcome::Line => {
+                if discarding {
+                    discarding = false;
+                    buf.clear();
+                    continue;
+                }
+                if buf.len() > max_line_bytes {
+                    reject_oversized(state, &writer, max_line_bytes);
+                    buf.clear();
+                    continue;
+                }
+                let shutdown_received = handle_line(&buf, state, queue, &writer, local_addr);
+                buf.clear();
+                if shutdown_received {
+                    // No further requests on this connection; the ack
+                    // arrives from `run()` once draining completes.
+                    return Ok(());
+                }
+            }
+            ReadOutcome::Error(e) => return Err(e),
+        }
+    }
+}
+
+enum ReadOutcome {
+    /// A complete line (newline stripped) is in the buffer.
+    Line,
+    /// Timeout tick; the buffer may hold a partial line.
+    WouldBlock,
+    /// Clean end of stream.
+    Eof,
+    /// Hard I/O error.
+    Error(std::io::Error),
+}
+
+/// Appends bytes to `buf` until a newline (consumed, not kept), EOF, or
+/// a timeout tick. Partial reads accumulate across ticks.
+fn read_until_newline(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadOutcome {
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return ReadOutcome::Line;
+                }
+                buf.push(byte[0]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return ReadOutcome::WouldBlock
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return ReadOutcome::Error(e),
+        }
+    }
+}
+
+fn reject_oversized(state: &ServerState, writer: &Mutex<TcpStream>, max_line_bytes: usize) {
+    state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    write_line(
+        writer,
+        &render_error(&ProtocolError::new(
+            None,
+            ErrorCode::Invalid,
+            format!("line exceeds {max_line_bytes} bytes"),
+        )),
+    );
+}
+
+/// Decodes and dispatches one complete line. Returns `true` when the
+/// line was a shutdown request.
+fn handle_line(
+    raw: &[u8],
+    state: &Arc<ServerState>,
+    queue: &BoundedQueue<Job>,
+    writer: &Arc<Mutex<TcpStream>>,
+    local_addr: SocketAddr,
+) -> bool {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &render_error(&ProtocolError::new(
+                None,
+                ErrorCode::Parse,
+                "line is not valid UTF-8",
+            )),
+        );
+        return false;
+    };
+    if line.trim().is_empty() {
+        // Blank keep-alive lines are tolerated silently.
+        return false;
+    }
+    match decode_line(line) {
+        Err(e) => {
+            state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_line(writer, &render_error(&e));
+            false
+        }
+        Ok(ClientMessage::Control(Control::Ping, id)) => {
+            write_line(writer, &render_ok("ping", id, &[]));
+            false
+        }
+        Ok(ClientMessage::Control(Control::Stats, id)) => {
+            write_line(writer, &render_ok("stats", id, &stats_fields(state, queue)));
+            false
+        }
+        Ok(ClientMessage::Control(Control::Shutdown, id)) => {
+            state
+                .ackers
+                .lock()
+                .unwrap()
+                .push((id, Arc::clone(writer)));
+            initiate_shutdown(state, local_addr);
+            true
+        }
+        Ok(ClientMessage::Simplify(request)) => {
+            if state.is_shutting_down() {
+                write_line(
+                    writer,
+                    &render_error(&ProtocolError::new(
+                        Some(request.id),
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    )),
+                );
+                return false;
+            }
+            let job = Job {
+                request,
+                received: Instant::now(),
+                writer: Arc::clone(writer),
+            };
+            if let Err((why, job)) = queue.try_push(job) {
+                let (code, detail) = match why {
+                    PushError::Full => {
+                        state.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                        (
+                            ErrorCode::Overloaded,
+                            format!("queue full (capacity {})", queue.capacity()),
+                        )
+                    }
+                    PushError::Closed => {
+                        (ErrorCode::ShuttingDown, "server is draining".to_string())
+                    }
+                };
+                write_line(
+                    &job.writer,
+                    &render_error(&ProtocolError::new(Some(job.request.id), code, detail)),
+                );
+            }
+            false
+        }
+    }
+}
+
+/// Flips the shutdown flag and unblocks the acceptor with a loopback
+/// self-connection (idempotent; extra connections are dropped by the
+/// accept loop's flag check).
+fn initiate_shutdown(state: &ServerState, local_addr: SocketAddr) {
+    state.shutting_down.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&local_addr, Duration::from_millis(200));
+}
+
+fn stats_fields(state: &ServerState, queue: &BoundedQueue<Job>) -> Vec<(String, String)> {
+    let cache = state.cache_stats();
+    let c = &state.counters;
+    vec![
+        ("served".into(), c.served.load(Ordering::Relaxed).to_string()),
+        (
+            "protocol_errors".into(),
+            c.protocol_errors.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "overloaded".into(),
+            c.overloaded.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "deadline_expired".into(),
+            c.deadline_expired.load(Ordering::Relaxed).to_string(),
+        ),
+        ("queue_depth".into(), queue.len().to_string()),
+        ("queue_capacity".into(), queue.capacity().to_string()),
+        ("cache_hits".into(), cache.hits.to_string()),
+        ("cache_misses".into(), cache.misses.to_string()),
+        (
+            "cache_hit_rate".into(),
+            format!("{:.6}", cache.hit_rate()),
+        ),
+    ]
+}
+
+/// The worker loop: drain the queue until it is closed and empty.
+fn worker_loop(queue: &BoundedQueue<Job>, state: &ServerState, delay: Option<Duration>) {
+    while let Some(job) = queue.pop() {
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        serve_job(&job, state);
+    }
+}
+
+/// Answers one dequeued request: deadline check, parse, simplify,
+/// deadline re-check, respond.
+fn serve_job(job: &Job, state: &ServerState) {
+    let deadline = job.request.deadline_ms.map(Duration::from_millis);
+    let expired = |elapsed: Duration| deadline.is_some_and(|d| elapsed > d);
+
+    if expired(job.received.elapsed()) {
+        return reject_deadline(job, state);
+    }
+    let expr: mba_expr::Expr = match job.request.expr.parse() {
+        Ok(e) => e,
+        Err(e) => {
+            state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                &job.writer,
+                &render_error(&ProtocolError::new(
+                    Some(job.request.id),
+                    ErrorCode::Invalid,
+                    format!("expr does not parse: {e}"),
+                )),
+            );
+            return;
+        }
+    };
+    let simplifier = state.simplifier_for(job.request.width);
+    let result = simplifier.simplify_detailed(&expr);
+    let elapsed = job.received.elapsed();
+    if expired(elapsed) {
+        return reject_deadline(job, state);
+    }
+    state.counters.served.fetch_add(1, Ordering::Relaxed);
+    write_line(
+        &job.writer,
+        &render_reply(&Reply {
+            id: job.request.id,
+            simplified: result.output.to_string(),
+            node_count_in: expr.node_count() as u64,
+            node_count_out: result.output.node_count() as u64,
+            micros: elapsed.as_micros() as u64,
+            cache_hit_rate: state.cache_stats().hit_rate(),
+        }),
+    );
+}
+
+fn reject_deadline(job: &Job, state: &ServerState) {
+    state
+        .counters
+        .deadline_expired
+        .fetch_add(1, Ordering::Relaxed);
+    write_line(
+        &job.writer,
+        &render_error(&ProtocolError::new(
+            Some(job.request.id),
+            ErrorCode::Deadline,
+            format!(
+                "deadline of {}ms exceeded after {}us",
+                job.request.deadline_ms.unwrap_or(0),
+                job.received.elapsed().as_micros()
+            ),
+        )),
+    );
+}
+
+/// The background server thread's join handle; joining yields the
+/// result of [`Server::run`].
+pub type ServerHandle = std::thread::JoinHandle<std::io::Result<()>>;
+
+/// Binds on `addr`, runs in a background thread, and returns the
+/// resolved address plus the join handle — the standard harness for
+/// tests and for embedding the server in another process.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn spawn<A: ToSocketAddrs>(
+    addr: A,
+    mut config: ServerConfig,
+) -> std::io::Result<(SocketAddr, ServerHandle)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    config.addr = addr.to_string();
+    let server = Server::bind(config)?;
+    let local = server.local_addr();
+    Ok((local, std::thread::spawn(move || server.run())))
+}

@@ -66,6 +66,18 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// The activity between an `earlier` snapshot and `self` — the
+    /// standard way to report per-batch or per-request cache telemetry
+    /// against a long-lived shared cache (the bench runner and the
+    /// serving layer both use it). Saturates rather than underflows if
+    /// the cache was cleared between the snapshots.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
 }
 
 impl std::fmt::Display for CacheStats {
@@ -366,6 +378,19 @@ mod tests {
         let second = cache.or_coefficients(&tt);
         assert_eq!(first, second);
         assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn since_computes_deltas_and_saturates() {
+        let before = CacheStats { hits: 3, misses: 5 };
+        let after = CacheStats { hits: 10, misses: 6 };
+        assert_eq!(
+            after.since(&before),
+            CacheStats { hits: 7, misses: 1 }
+        );
+        // A clear between snapshots must not underflow.
+        let reset = CacheStats { hits: 0, misses: 0 };
+        assert_eq!(reset.since(&before), CacheStats::default());
     }
 
     #[test]

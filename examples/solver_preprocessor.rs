@@ -86,6 +86,8 @@ fn main() {
         "{:<26} {:>6}/{:<3} {:>14.2?}",
         "z3-style + MBA-Solver", pre_solved, n, pre_time
     );
-    let (hits, misses) = preprocessed.simplifier.cache_stats();
-    println!("\npreprocessing lookup table: {hits} hits / {misses} misses");
+    println!(
+        "\npreprocessing lookup table: {}",
+        preprocessed.simplifier.cache_stats()
+    );
 }
