@@ -77,7 +77,16 @@ fn main() {
         .push_int("cache_enabled", u64::from(config.use_cache))
         .push_int("lookup_table_hits", lookup.hits)
         .push_int("lookup_table_misses", lookup.misses)
-        .push_float("lookup_table_hit_rate", lookup.hit_rate());
+        .push_float("lookup_table_hit_rate", lookup.hit_rate())
+        // Where did simplification time go, stage by stage? The
+        // simplifier recorded spans into its registry during the batch.
+        .push_stage_breakdown(&simplifier.metrics().snapshot());
+    for (name, records) in names.iter().zip(&per_profile) {
+        for kind in report::CATEGORIES {
+            let prefix = format!("{name}_{kind}").to_lowercase().replace([' ', '-'], "_");
+            telemetry.push_aggregate(&prefix, &report::aggregate(records, kind));
+        }
+    }
     match telemetry.write() {
         Ok(path) => eprintln!("telemetry written to {}", path.display()),
         Err(e) => eprintln!("telemetry write failed: {e}"),

@@ -38,12 +38,21 @@ pub fn aggregate(records: &[SolveRecord], kind: ObfuscationKind) -> CategoryAggr
         .filter(|r| r.verdict == Verdict::Solved)
         .collect();
     let times: Vec<f64> = solved.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    // An empty category must aggregate to all-zero times: the old
+    // `fold(f64::INFINITY, f64::min)` left `t_min = inf` on zero solved
+    // samples, and that non-finite value then reached the JSON telemetry
+    // (where it can only render as `null`). Zero is the documented "no
+    // data" value, matching `t_avg`.
     CategoryAggregate {
         total: of_kind.len(),
         solved: solved.len(),
         refuted: of_kind.iter().filter(|r| r.verdict == Verdict::Refuted).count(),
         timeouts: of_kind.iter().filter(|r| r.verdict == Verdict::Timeout).count(),
-        t_min: times.iter().copied().fold(f64::INFINITY, f64::min),
+        t_min: if times.is_empty() {
+            0.0
+        } else {
+            times.iter().copied().fold(f64::INFINITY, f64::min)
+        },
         t_max: times.iter().copied().fold(0.0, f64::max),
         t_avg: if times.is_empty() {
             0.0
@@ -70,6 +79,11 @@ pub const CATEGORIES: [ObfuscationKind; 3] = [
     ObfuscationKind::Polynomial,
     ObfuscationKind::NonPolynomial,
 ];
+
+/// The simplifier pipeline stages reported by
+/// [`BenchReport::push_stage_breakdown`], in pipeline order; names match
+/// the `core.stage.<name>.micros` histograms `mba-solver` records.
+pub const STAGES: [&str; 5] = ["signature", "basis", "poly_reduce", "rewrite", "final_fold"];
 
 /// Renders a full solver-performance table (the layout of Tables 2/6):
 /// one row per category, one column group per profile.
@@ -178,6 +192,40 @@ impl BenchReport {
             .push_float("cache_hit_rate", run.cache.hit_rate())
     }
 
+    /// Adds one [`CategoryAggregate`] as `<prefix>_total` /
+    /// `<prefix>_solved` / `<prefix>_refuted` / `<prefix>_timeouts` /
+    /// `<prefix>_t_min_s` / `<prefix>_t_max_s` / `<prefix>_t_avg_s`.
+    /// [`aggregate`] keeps empty categories all-zero, so every value
+    /// here is finite by construction.
+    pub fn push_aggregate(&mut self, prefix: &str, a: &CategoryAggregate) -> &mut Self {
+        self.push_int(&format!("{prefix}_total"), a.total as u64)
+            .push_int(&format!("{prefix}_solved"), a.solved as u64)
+            .push_int(&format!("{prefix}_refuted"), a.refuted as u64)
+            .push_int(&format!("{prefix}_timeouts"), a.timeouts as u64)
+            .push_float(&format!("{prefix}_t_min_s"), a.t_min)
+            .push_float(&format!("{prefix}_t_max_s"), a.t_max)
+            .push_float(&format!("{prefix}_t_avg_s"), a.t_avg)
+    }
+
+    /// Adds the simplifier's per-stage timing breakdown from an
+    /// `mba-obs` snapshot: for each pipeline stage in [`STAGES`],
+    /// `stage_<name>_micros` (total time), `stage_<name>_calls`
+    /// (span count), and `stage_<name>_p95_micros` (log2-bucket
+    /// approximate p95). Stages that never ran report zeros, so the
+    /// field set is identical across runs. All integers — no float can
+    /// enter the file through this path.
+    pub fn push_stage_breakdown(&mut self, snapshot: &mba_obs::Snapshot) -> &mut Self {
+        for stage in STAGES {
+            let (micros, calls, p95) = snapshot
+                .histogram(&format!("core.stage.{stage}.micros"))
+                .map_or((0, 0, 0), |h| (h.sum, h.count, h.approx_quantile(0.95)));
+            self.push_int(&format!("stage_{stage}_micros"), micros)
+                .push_int(&format!("stage_{stage}_calls"), calls)
+                .push_int(&format!("stage_{stage}_p95_micros"), p95);
+        }
+        self
+    }
+
     /// Renders the JSON object.
     pub fn render(&self) -> String {
         let body: Vec<String> = self
@@ -246,12 +294,19 @@ pub fn time_bucket(elapsed: Duration, timed_out: bool) -> &'static str {
 /// `0.0` when empty. Sorts a copy, so callers can pass raw latency
 /// vectors straight from a run. `p = 50/95/99` are the serving-layer
 /// latency quantiles `BENCH_serve.json` reports.
+///
+/// Non-finite samples are skipped: `NaN` is incomparable, so letting it
+/// into the sort (the old `partial_cmp(..).unwrap_or(Equal)`) scrambled
+/// the ordering unpredictably and could surface `NaN` as any quantile.
+/// A latency vector has no legitimate non-finite entries — an upstream
+/// producer that emits one is feeding the report garbage, and skipping
+/// keeps the remaining quantiles honest instead of poisoning them all.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite values were filtered"));
     let p = p.clamp(0.0, 100.0);
     // Nearest-rank: the smallest value with at least p% of the sample
     // at or below it.
@@ -313,6 +368,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_aggregate_is_all_finite_zeros() {
+        // Regression: the empty fold used to leave `t_min = inf`.
+        for a in [
+            aggregate(&[], ObfuscationKind::Linear),
+            // Non-empty category with zero *solved* samples: the times
+            // vector is still empty.
+            aggregate(
+                &[rec(0, ObfuscationKind::Linear, Verdict::Timeout, 900)],
+                ObfuscationKind::Linear,
+            ),
+        ] {
+            assert!(a.t_min.is_finite() && a.t_min == 0.0, "t_min = {}", a.t_min);
+            assert!(a.t_max.is_finite() && a.t_max == 0.0);
+            assert!(a.t_avg.is_finite() && a.t_avg == 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_aggregate_round_trips_through_report_writer() {
+        // The full path the bug poisoned: empty aggregate → BenchReport
+        // → rendered JSON. The output must parse and contain no nulls
+        // (a null is push_float's spelling of a non-finite value).
+        let mut r = BenchReport::new("roundtrip");
+        for kind in CATEGORIES {
+            let a = aggregate(&[], kind);
+            r.push_aggregate(&kind.to_string().replace('-', "_"), &a);
+        }
+        let rendered = r.render();
+        let parsed = mba_obs::json::parse_json(&rendered)
+            .unwrap_or_else(|e| panic!("unparseable report: {e}\n{rendered}"));
+        assert_eq!(
+            mba_obs::json::find_non_finite(&parsed),
+            None,
+            "empty aggregates leaked a non-finite value:\n{rendered}"
+        );
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj["linear_t_min_s"].as_num(), Some(0.0));
+        assert_eq!(obj["linear_solved"].as_u64(), Some(0));
+    }
+
+    #[test]
     fn solver_table_contains_all_rows() {
         let records = vec![
             rec(0, ObfuscationKind::Linear, Verdict::Solved, 10),
@@ -365,6 +461,48 @@ mod tests {
         // Out-of-range p clamps instead of panicking.
         assert_eq!(percentile(&v, 150.0), 5.0);
         assert_eq!(percentile(&v, -3.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_skips_non_finite_samples() {
+        // Regression: NaN used to enter the sort via
+        // `partial_cmp(..).unwrap_or(Equal)` and scramble the order.
+        let v = [f64::NAN, 3.0, f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        // NaN placement must not depend on position: every permutation
+        // of a NaN-poisoned sample gives the same quantiles.
+        let a = [f64::NAN, 5.0, 1.0];
+        let b = [5.0, f64::NAN, 1.0];
+        let c = [5.0, 1.0, f64::NAN];
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&a, p), percentile(&b, p));
+            assert_eq!(percentile(&b, p), percentile(&c, p));
+            assert!(percentile(&a, p).is_finite());
+        }
+        // All-non-finite behaves like empty.
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 50.0), 0.0);
+    }
+
+    #[test]
+    fn stage_breakdown_reports_every_stage_as_integers() {
+        let reg = mba_obs::MetricsRegistry::new();
+        reg.histogram("core.stage.signature.micros").record(120);
+        reg.histogram("core.stage.signature.micros").record(80);
+        reg.histogram("core.stage.basis.micros").record(40);
+        let mut r = BenchReport::new("stages");
+        r.push_stage_breakdown(&reg.snapshot());
+        let rendered = r.render();
+        let parsed = mba_obs::json::parse_json(&rendered).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj["stage_signature_micros"].as_u64(), Some(200));
+        assert_eq!(obj["stage_signature_calls"].as_u64(), Some(2));
+        assert_eq!(obj["stage_basis_micros"].as_u64(), Some(40));
+        // Stages that never ran still report, as zeros.
+        assert_eq!(obj["stage_rewrite_calls"].as_u64(), Some(0));
+        assert_eq!(obj["stage_final_fold_micros"].as_u64(), Some(0));
+        assert_eq!(mba_obs::json::find_non_finite(&parsed), None);
     }
 
     #[test]

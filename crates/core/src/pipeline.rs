@@ -114,16 +114,21 @@ impl<'a> Pipeline<'a> {
         // basis re-expression below both memoize through the shared
         // `SigCache` when caching is enabled; the uncached paths compute
         // the same pure functions directly, so outputs never differ.
-        let table: Arc<TruthTable> = if self.use_sig_cache() {
-            self.simplifier
-                .sig_cache()
-                .table_of(&skeleton, &vars)
-                .expect("skeleton is pure bitwise by construction")
-        } else {
-            Arc::new(
-                TruthTable::of(&skeleton, &vars)
-                    .expect("skeleton is pure bitwise by construction"),
-            )
+        // The signature span times the lookup-or-compute as one unit, so
+        // its histogram shows the cache collapsing the sweep's cost.
+        let table: Arc<TruthTable> = {
+            let _t = self.simplifier.stages().signature.time();
+            if self.use_sig_cache() {
+                self.simplifier
+                    .sig_cache()
+                    .table_of(&skeleton, &vars)
+                    .expect("skeleton is pure bitwise by construction")
+            } else {
+                Arc::new(
+                    TruthTable::of(&skeleton, &vars)
+                        .expect("skeleton is pure bitwise by construction"),
+                )
+            }
         };
         Some(self.table_to_poly(&table, &vars))
     }
@@ -135,6 +140,7 @@ impl<'a> Pipeline<'a> {
     /// The ∧-basis (Möbius) coefficients of a truth table, via the
     /// shared cache when enabled.
     fn and_coefficients(&self, tt: &TruthTable) -> Vec<i128> {
+        let _t = self.simplifier.stages().basis.time();
         if self.use_sig_cache() {
             (*self.simplifier.sig_cache().and_coefficients(tt)).clone()
         } else {
@@ -151,13 +157,16 @@ impl<'a> Pipeline<'a> {
                 self.expand_and_basis(&self.and_coefficients(tt), vars)
             }
             Basis::Or => {
-                let solved = if self.use_sig_cache() {
-                    self.simplifier
-                        .sig_cache()
-                        .or_coefficients(tt)
-                        .map(|c| (*c).clone())
-                } else {
-                    cache::or_basis_coefficients(tt)
+                let solved = {
+                    let _t = self.simplifier.stages().basis.time();
+                    if self.use_sig_cache() {
+                        self.simplifier
+                            .sig_cache()
+                            .or_coefficients(tt)
+                            .map(|c| (*c).clone())
+                    } else {
+                        cache::or_basis_coefficients(tt)
+                    }
                 };
                 match solved {
                     Some(coeffs) => {

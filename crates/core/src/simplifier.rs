@@ -6,10 +6,58 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mba_expr::{metrics, Expr, Ident, MbaClass, Metrics};
+use mba_obs::{Counter, Histogram, MetricsRegistry};
 use mba_sig::{catalog, linear_combination, CacheStats, SigCache, SignatureVector};
 use parking_lot::Mutex;
 
 use crate::pipeline::Pipeline;
+
+/// Pre-resolved instrument handles for the simplifier's per-stage
+/// telemetry, so the hot path never touches the registry's lock.
+///
+/// Latency histograms cover the paper's pipeline stages:
+///
+/// * `core.stage.signature.micros` — truth-table extraction (§4.1's
+///   `2^t` evaluation sweep);
+/// * `core.stage.basis.micros` — normalized-basis solving (§4.3 Möbius
+///   inversion, Table 9 linear solve);
+/// * `core.stage.poly_reduce.micros` — one whole lowering pass
+///   (polynomial expansion + reduction); **includes** the signature and
+///   basis spans, which fire inside it;
+/// * `core.stage.rewrite.micros` — the structural peephole pass;
+/// * `core.stage.final_fold.micros` — the §4.5 final-step bitwise fold.
+///
+/// Counters under `core.result.*` are pure functions of the simplified
+/// results, so they are byte-identical across worker counts and cache
+/// schedules (unlike stage-span *counts*, which vary with cache hits).
+#[derive(Debug)]
+pub(crate) struct StageMetrics {
+    pub(crate) signature: Arc<Histogram>,
+    pub(crate) basis: Arc<Histogram>,
+    poly_reduce: Arc<Histogram>,
+    rewrite: Arc<Histogram>,
+    final_fold: Arc<Histogram>,
+    result_exprs: Arc<Counter>,
+    result_rounds: Arc<Counter>,
+    result_bailouts: Arc<Counter>,
+    result_output_nodes: Arc<Counter>,
+}
+
+impl StageMetrics {
+    fn resolve(registry: &MetricsRegistry) -> StageMetrics {
+        StageMetrics {
+            signature: registry.histogram("core.stage.signature.micros"),
+            basis: registry.histogram("core.stage.basis.micros"),
+            poly_reduce: registry.histogram("core.stage.poly_reduce.micros"),
+            rewrite: registry.histogram("core.stage.rewrite.micros"),
+            final_fold: registry.histogram("core.stage.final_fold.micros"),
+            result_exprs: registry.counter("core.result.exprs"),
+            result_rounds: registry.counter("core.result.rounds"),
+            result_bailouts: registry.counter("core.result.bailouts"),
+            result_output_nodes: registry.counter("core.result.output_nodes"),
+        }
+    }
+}
 
 /// Which normalized basis the §4.3 reduction targets (§7 discusses the
 /// trade-off; Table 4 is the ∧-basis, Table 9 the ∨-basis).
@@ -118,7 +166,7 @@ pub struct Simplified {
 /// let e = "2*(x|y) - (~x&y) - (x&~y)".parse().unwrap();
 /// assert_eq!(s.simplify(&e).to_string(), "x+y");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Simplifier {
     config: SimplifyConfig,
     cache: Mutex<HashMap<Expr, (Expr, bool)>>,
@@ -130,6 +178,21 @@ pub struct Simplifier {
     /// [`Simplifier::with_cache`] and across batch workers. Consulted
     /// only when [`SimplifyConfig::use_cache`] is set.
     sig_cache: Arc<SigCache>,
+    /// Per-stage telemetry registry, shareable via
+    /// [`Simplifier::with_metrics`] (the serving layer hands every
+    /// simplifier its process-wide registry).
+    obs: Arc<MetricsRegistry>,
+    stages: StageMetrics,
+}
+
+impl Default for Simplifier {
+    fn default() -> Self {
+        Simplifier::with_metrics(
+            SimplifyConfig::default(),
+            Arc::new(SigCache::new()),
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
 }
 
 /// Recursion guard for nested temporary simplification.
@@ -168,16 +231,63 @@ impl Simplifier {
     /// assert!(cache.stats().hits > 0, "b reuses a's signature work");
     /// ```
     pub fn with_cache(config: SimplifyConfig, sig_cache: Arc<SigCache>) -> Simplifier {
+        Simplifier::with_metrics(config, sig_cache, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates a simplifier sharing both a signature cache and a
+    /// metrics registry — the fully-shared constructor the serving
+    /// layer and the bench runners use, so per-stage spans from every
+    /// worker land in one process-wide registry.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mba_obs::MetricsRegistry;
+    /// use mba_sig::SigCache;
+    /// use mba_solver::{Simplifier, SimplifyConfig};
+    ///
+    /// let obs = Arc::new(MetricsRegistry::new());
+    /// let s = Simplifier::with_metrics(
+    ///     SimplifyConfig::default(),
+    ///     Arc::new(SigCache::new()),
+    ///     Arc::clone(&obs),
+    /// );
+    /// s.simplify(&"x + y - (x&y)".parse().unwrap());
+    /// let snap = obs.snapshot();
+    /// assert_eq!(snap.counter("core.result.exprs"), 1);
+    /// assert!(snap.histogram("core.stage.signature.micros").unwrap().count > 0);
+    /// ```
+    pub fn with_metrics(
+        config: SimplifyConfig,
+        sig_cache: Arc<SigCache>,
+        obs: Arc<MetricsRegistry>,
+    ) -> Simplifier {
+        let stages = StageMetrics::resolve(&obs);
         Simplifier {
             config,
+            cache: Mutex::new(HashMap::new()),
+            canonical_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             sig_cache,
-            ..Simplifier::default()
+            obs,
+            stages,
         }
     }
 
     /// The shared signature-layer cache (for stats or further sharing).
     pub fn sig_cache(&self) -> &Arc<SigCache> {
         &self.sig_cache
+    }
+
+    /// The shared per-stage metrics registry (for snapshots or further
+    /// sharing).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// Pre-resolved stage instrument handles, for the pipeline.
+    pub(crate) fn stages(&self) -> &StageMetrics {
+        &self.stages
     }
 
     /// The active configuration.
@@ -214,6 +324,15 @@ impl Simplifier {
         if let Some(bug) = self.config.injected_bug {
             current = apply_injected_bug(bug, &current);
         }
+        // `core.result.*` counters are derived from the result alone —
+        // the batch API guarantees results are byte-identical across
+        // worker counts, so these counters inherit that determinism.
+        self.stages.result_exprs.inc();
+        self.stages.result_rounds.add(rounds as u64);
+        if bailed {
+            self.stages.result_bailouts.inc();
+        }
+        self.stages.result_output_nodes.add(current.node_count() as u64);
         Simplified {
             rounds,
             bailed,
@@ -285,22 +404,26 @@ impl Simplifier {
     /// independently and keep whichever result scores better (ties go
     /// to the ∧ basis, the paper's default).
     fn simplify_adaptive(&self, e: &Expr) -> Simplified {
-        // Both sub-solvers share this simplifier's signature cache: the
+        // Both sub-solvers share this simplifier's signature cache (the
         // truth tables are basis-independent, and the ∧ run's Möbius
-        // coefficients double as the ∨ run's fallback.
-        let and_solver = Simplifier::with_cache(
+        // coefficients double as the ∨ run's fallback) and its metrics
+        // registry — so adaptive runs record one `core.result.exprs`
+        // per basis attempt, i.e. two per input expression.
+        let and_solver = Simplifier::with_metrics(
             SimplifyConfig {
                 basis: Basis::And,
                 ..self.config.clone()
             },
             Arc::clone(&self.sig_cache),
+            Arc::clone(&self.obs),
         );
-        let or_solver = Simplifier::with_cache(
+        let or_solver = Simplifier::with_metrics(
             SimplifyConfig {
                 basis: Basis::Or,
                 ..self.config.clone()
             },
             Arc::clone(&self.sig_cache),
+            Arc::clone(&self.obs),
         );
         let and_result = and_solver.simplify_detailed(e);
         let or_result = or_solver.simplify_detailed(e);
@@ -348,7 +471,10 @@ impl Simplifier {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         let mut pipeline = Pipeline::new(self, e, depth);
-        let candidate = pipeline.run(e);
+        let candidate = {
+            let _t = self.stages.poly_reduce.time();
+            pipeline.run(e)
+        };
         let bailed = pipeline.bailed;
         let mut result = e.clone();
         // Prefer the pipeline's canonical render even on score ties:
@@ -387,7 +513,10 @@ impl Simplifier {
             return hit.clone();
         }
         let mut pipeline = Pipeline::new(self, e, depth);
-        let out = pipeline.run(e).unwrap_or_else(|| e.clone());
+        let out = {
+            let _t = self.stages.poly_reduce.time();
+            pipeline.run(e).unwrap_or_else(|| e.clone())
+        };
         self.canonical_cache
             .lock()
             .insert(e.clone(), out.clone());
@@ -408,6 +537,7 @@ impl Simplifier {
                 self.simplify_round(b, depth + 1).0,
             ),
         };
+        let _t = self.stages.rewrite.time();
         crate::rewrite::peephole(rebuilt)
     }
 
@@ -447,6 +577,7 @@ impl Simplifier {
     /// is a scaled truth-table column, replace it by `c ·` the minimal
     /// bitwise expression from the catalog when that is strictly better.
     pub(crate) fn final_step(&self, e: &Expr) -> Expr {
+        let _t = self.stages.final_fold.time();
         if e.mba_class() != MbaClass::Linear {
             return e.clone();
         }
@@ -725,6 +856,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stage_spans_and_result_counters_populate() {
+        let s = Simplifier::new();
+        let d = s.simplify_detailed(&"2*(x|y) - (~x&y) - (x&~y)".parse().unwrap());
+        assert_eq!(d.output.to_string(), "x+y");
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("core.result.exprs"), 1);
+        assert_eq!(snap.counter("core.result.rounds"), d.rounds as u64);
+        assert_eq!(snap.counter("core.result.bailouts"), 0);
+        assert_eq!(
+            snap.counter("core.result.output_nodes"),
+            d.output.node_count() as u64
+        );
+        // Every pipeline stage ran at least once on a linear MBA input.
+        for stage in [
+            "core.stage.signature.micros",
+            "core.stage.basis.micros",
+            "core.stage.poly_reduce.micros",
+            "core.stage.rewrite.micros",
+            "core.stage.final_fold.micros",
+        ] {
+            let h = snap.histogram(stage).unwrap_or_else(|| {
+                panic!("{stage} never recorded")
+            });
+            assert!(h.count > 0, "{stage} never recorded");
+        }
+    }
+
+    #[test]
+    fn shared_registry_aggregates_across_simplifiers() {
+        let obs = Arc::new(MetricsRegistry::new());
+        let cache = Arc::new(mba_sig::SigCache::new());
+        let a = Simplifier::with_metrics(
+            SimplifyConfig::default(),
+            Arc::clone(&cache),
+            Arc::clone(&obs),
+        );
+        let b = Simplifier::with_metrics(
+            SimplifyConfig::default(),
+            Arc::clone(&cache),
+            Arc::clone(&obs),
+        );
+        a.simplify(&"x + y - (x&y)".parse().unwrap());
+        b.simplify(&"x + y - 2*(x&y)".parse().unwrap());
+        assert_eq!(obs.snapshot().counter("core.result.exprs"), 2);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Satellite: metrics snapshots must be *byte-identical* across worker
+//! counts for the scheduling-independent slice of the registry.
+//!
+//! The batch API promises results byte-identical across `--jobs`
+//! values; the `core.result.*` counters are pure functions of those
+//! results, so their rendered snapshot must be byte-identical too.
+//! Stage-span counts and cache hit/miss tallies legitimately vary with
+//! scheduling (whichever worker reaches a subtree first pays the miss),
+//! which is exactly why the telemetry contract scopes determinism to
+//! the `core.result` prefix — this test pins both the promise and its
+//! boundary.
+
+use std::sync::Arc;
+
+use mba_gen::{Corpus, CorpusConfig};
+use mba_obs::MetricsRegistry;
+use mba_sig::SigCache;
+use mba_solver::{Simplifier, SimplifyConfig};
+
+fn seeded_corpus() -> Vec<mba_expr::Expr> {
+    let mut corpus = Vec::new();
+    // Fixed hand-picked inputs exercising every stage…
+    for src in [
+        "2*(x|y) - (~x&y) - (x&~y)",
+        "x + y - 2*(x&y)",
+        "(x&~y)*(~x&y) + (x&y)*(x|y)",
+        "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+        "~(x - 1)",
+        "(x*y | z) + (x*y & z)",
+        "x ^ x",
+        "(x ^ y ^ z) * (x & y & z) - 17",
+    ] {
+        corpus.push(src.parse().unwrap());
+    }
+    // …plus a seeded generated batch (8 per category, all three
+    // categories) so the corpus is not toy-sized.
+    let generated = Corpus::generate(&CorpusConfig {
+        seed: 0xB1A5_ED5E,
+        per_category: 8,
+    });
+    corpus.extend(generated.samples().iter().map(|s| s.obfuscated.clone()));
+    corpus
+}
+
+fn result_snapshot_json(corpus: &[mba_expr::Expr], jobs: usize) -> String {
+    let obs = Arc::new(MetricsRegistry::new());
+    let simplifier = Simplifier::with_metrics(
+        SimplifyConfig::default(),
+        Arc::new(SigCache::new()),
+        Arc::clone(&obs),
+    );
+    simplifier.simplify_batch_with_jobs(corpus, jobs);
+    obs.snapshot().filter_prefix("core.result").render_json()
+}
+
+#[test]
+fn result_counters_byte_identical_across_jobs_1_0_64() {
+    let corpus = seeded_corpus();
+    let reference = result_snapshot_json(&corpus, 1);
+    assert!(
+        reference.contains("core.result.exprs"),
+        "corpus produced no result counters: {reference}"
+    );
+    for jobs in [0usize, 64] {
+        let got = result_snapshot_json(&corpus, jobs);
+        assert_eq!(
+            got, reference,
+            "core.result.* snapshot diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn result_counters_stable_across_repeat_runs() {
+    // Same corpus, same jobs, fresh registries: still byte-identical —
+    // nothing time- or address-dependent leaks into the counters.
+    let corpus = seeded_corpus();
+    let a = result_snapshot_json(&corpus, 0);
+    let b = result_snapshot_json(&corpus, 0);
+    assert_eq!(a, b);
+}

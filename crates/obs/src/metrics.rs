@@ -1,0 +1,376 @@
+//! The instruments and the registry. Everything here is `Send + Sync`
+//! and records with `Relaxed` atomics — telemetry must never become the
+//! synchronization point of the code it observes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// Number of log2 buckets per histogram. Bucket 0 holds exact zeros;
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i)`; the last bucket additionally
+/// absorbs everything above its lower bound. 32 buckets cover values
+/// up to `2^31` microseconds (~36 minutes) before saturating, far past
+/// any latency this pipeline produces.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The bucket a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (inclusive); the final bucket
+/// reports `u64::MAX` because it saturates.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed gauge (queue depth, shard occupancy, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-log2-bucket histogram of `u64` samples (the convention
+/// throughout the workspace is **microseconds** for latency metrics,
+/// signalled by a `.micros` name suffix).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Starts a borrowed timing span; elapsed **microseconds** are
+    /// recorded when the span drops.
+    pub fn time(&self) -> Span<'_> {
+        Span {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Captures the histogram. Buckets, count, and sum are read
+    /// independently (`Relaxed`), so a capture racing live recording
+    /// can be momentarily inconsistent by a few in-flight samples —
+    /// fine for telemetry, not for invariants.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// A borrowed timing span over one [`Histogram`]; records elapsed
+/// microseconds on drop.
+#[must_use = "a span records when dropped; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// An owned timing span (holds its histogram by `Arc`), as returned by
+/// [`MetricsRegistry::span`]; records elapsed microseconds on drop.
+#[must_use = "a span records when dropped; binding it to `_` drops it immediately"]
+pub struct OwnedSpan {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// A named directory of instruments.
+///
+/// `counter`/`gauge`/`histogram` get-or-register: the first call for a
+/// name creates the instrument (write lock, cold path), later calls
+/// return the same handle (read lock). Steady-state code should resolve
+/// its handles once and keep the `Arc`s — recording through a handle
+/// touches no lock at all.
+///
+/// ```
+/// use mba_obs::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// let requests = reg.counter("serve.requests");
+/// requests.inc();
+/// {
+///     let _span = reg.span("serve.handle.micros");
+///     // ... timed work ...
+/// }
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("serve.requests"), 1);
+/// assert_eq!(snap.histogram("serve.handle.micros").unwrap().count, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap().get(name) {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().unwrap();
+    Arc::clone(
+        write
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registered on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registered on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registered on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// A labeled owned timing span over the histogram named `name`
+    /// (elapsed microseconds recorded on drop). Resolves the handle on
+    /// every call; hot paths should hold the `Arc<Histogram>` and use
+    /// [`Histogram::time`] instead.
+    pub fn span(&self, name: &str) -> OwnedSpan {
+        OwnedSpan {
+            histogram: self.histogram(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Captures every instrument into a [`Snapshot`]. Instruments are
+    /// read one by one, so the snapshot is not a single atomic cut
+    /// across metrics — adequate for telemetry by construction.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Upper bounds bracket their bucket.
+        for v in [0u64, 1, 2, 3, 7, 100, 4096, 1 << 29] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "{v} above bound of {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v} fits bucket {}", i - 1);
+            }
+        }
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").inc();
+        reg.gauge("g").set(7);
+        reg.gauge("g").add(-2);
+        let h = reg.histogram("h.micros");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 4);
+        assert_eq!(snap.gauge("g"), 5);
+        let hs = snap.histogram("h.micros").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 10);
+        assert_eq!(hs.buckets, vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn same_name_shares_one_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("work.micros");
+        }
+        let h = reg.histogram("manual.micros");
+        {
+            let _s = h.time();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("work.micros").unwrap().count, 1);
+        assert_eq!(snap.histogram("manual.micros").unwrap().count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("n");
+        let h = reg.histogram("v.micros");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i % 17);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        let hs = h.snapshot();
+        assert_eq!(hs.count, 8000);
+        assert_eq!(hs.buckets.iter().map(|(_, n)| n).sum::<u64>(), 8000);
+    }
+}

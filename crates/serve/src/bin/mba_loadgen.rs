@@ -259,9 +259,14 @@ fn main() -> ExitCode {
     let mut served = 0u64;
     let mut overloaded_server = 0u64;
     let mut deadline_expired = 0u64;
+    let mut internal_errors = 0u64;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     let mut cache_hit_rate_end = 0.0f64;
+    // Server-side stage breakdown and queue timings, copied verbatim
+    // (they are already integers) from the stats response into the
+    // report so `BENCH_serve.json` carries the per-stage story.
+    let mut server_breakdown: Vec<(String, u64)> = Vec::new();
     let mut clean_shutdown = !config.shutdown;
     match Client::connect(&config.addr) {
         Err(e) => eprintln!("stats connection failed: {e}"),
@@ -271,13 +276,32 @@ fn main() -> ExitCode {
                     served = stats.u64_field("served").unwrap_or(0);
                     overloaded_server = stats.u64_field("overloaded").unwrap_or(0);
                     deadline_expired = stats.u64_field("deadline_expired").unwrap_or(0);
+                    internal_errors = stats.u64_field("internal_errors").unwrap_or(0);
                     cache_hits = stats.u64_field("cache_hits").unwrap_or(0);
                     cache_misses = stats.u64_field("cache_misses").unwrap_or(0);
                     cache_hit_rate_end = stats.num_field("cache_hit_rate").unwrap_or(0.0);
+                    for stage in mba_bench::report::STAGES {
+                        for suffix in ["micros", "calls"] {
+                            let field = format!("stage_{stage}_{suffix}");
+                            server_breakdown
+                                .push((field.clone(), stats.u64_field(&field).unwrap_or(0)));
+                        }
+                    }
+                    for field in [
+                        "queue_wait_micros_total",
+                        "queue_wait_count",
+                        "queue_wait_p95_micros",
+                        "queue_service_micros_total",
+                        "queue_service_count",
+                        "queue_service_p95_micros",
+                    ] {
+                        server_breakdown
+                            .push((field.to_string(), stats.u64_field(field).unwrap_or(0)));
+                    }
                     println!(
                         "server: served={served} overloaded={overloaded_server} \
-                         deadline_expired={deadline_expired} cache={cache_hits}h/{cache_misses}m \
-                         ({cache_hit_rate_end:.4})"
+                         deadline_expired={deadline_expired} internal_errors={internal_errors} \
+                         cache={cache_hits}h/{cache_misses}m ({cache_hit_rate_end:.4})"
                     );
                 }
                 Err(e) => eprintln!("stats request failed: {e}"),
@@ -317,6 +341,7 @@ fn main() -> ExitCode {
         .push_int("server_served", served)
         .push_int("server_overloaded", overloaded_server)
         .push_int("server_deadline_expired", deadline_expired)
+        .push_int("server_internal_errors", internal_errors)
         .push_int("cache_hits", cache_hits)
         .push_int("cache_misses", cache_misses)
         .push_float("cache_hit_rate", cache_hit_rate_end)
@@ -324,6 +349,9 @@ fn main() -> ExitCode {
         .push_float("cache_hit_rate_second_half", rate_second)
         .push_bool("cache_warming", warmed)
         .push_bool("clean_shutdown", clean_shutdown);
+    for (field, value) in &server_breakdown {
+        telemetry.push_int(field, *value);
+    }
     match telemetry.write() {
         Ok(path) => eprintln!("telemetry written to {}", path.display()),
         Err(e) => eprintln!("telemetry write failed: {e}"),

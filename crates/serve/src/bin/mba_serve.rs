@@ -81,11 +81,12 @@ fn main() -> ExitCode {
         Ok(()) => {
             let c = &state.counters;
             eprintln!(
-                "shutdown: served={} overloaded={} deadline_expired={} protocol_errors={} | signature cache: {}",
-                c.served.load(std::sync::atomic::Ordering::Relaxed),
-                c.overloaded.load(std::sync::atomic::Ordering::Relaxed),
-                c.deadline_expired.load(std::sync::atomic::Ordering::Relaxed),
-                c.protocol_errors.load(std::sync::atomic::Ordering::Relaxed),
+                "shutdown: served={} overloaded={} deadline_expired={} protocol_errors={} internal_errors={} | signature cache: {}",
+                c.served.get(),
+                c.overloaded.get(),
+                c.deadline_expired.get(),
+                c.protocol_errors.get(),
+                c.internal_errors.get(),
                 state.cache_stats(),
             );
             ExitCode::SUCCESS

@@ -179,13 +179,14 @@ impl Client {
         self.recv()
     }
 
-    /// Requests a counters/cache snapshot.
+    /// Requests a counters/cache/stage-breakdown snapshot. Sent via
+    /// the `cmd` spelling to keep the wire alias exercised end-to-end.
     ///
     /// # Errors
     ///
     /// Propagates transport failures.
     pub fn stats(&mut self) -> std::io::Result<Response> {
-        self.send_raw("{\"control\":\"stats\"}")?;
+        self.send_raw("{\"cmd\":\"stats\"}")?;
         self.recv()
     }
 

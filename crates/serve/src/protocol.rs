@@ -11,8 +11,9 @@
 //! ```
 //!
 //! `width` (default 64) and `deadline_ms` (default: none) are optional;
-//! unknown fields are **ignored** for forward compatibility. Responses
-//! either succeed:
+//! unknown fields are **ignored** for forward compatibility. Control
+//! requests accept `cmd` as an alias for `control` (`{"cmd":"stats"}`),
+//! so stats pollers can use either spelling. Responses either succeed:
 //!
 //! ```text
 //! {"id": 7, "simplified": "x+y", "node_count_in": 13, "node_count_out": 3,
@@ -20,270 +21,24 @@
 //! ```
 //!
 //! or carry an `error` code (`parse`, `invalid`, `overloaded`,
-//! `deadline`, `shutting_down`) plus a human-readable `detail`. An
-//! error answers the offending *line* only — the connection and the
-//! worker pool always survive.
+//! `deadline`, `shutting_down`, `internal`) plus a human-readable
+//! `detail`. An error answers the offending *line* only — the
+//! connection and the worker pool always survive.
 //!
 //! The workspace has no JSON dependency (the build environment is
-//! offline), so this module carries a small recursive-descent JSON
-//! parser and a hand renderer, both total: any input either parses or
-//! yields a `parse` error, and rendering escapes everything JSON
-//! requires.
+//! offline); the recursive-descent JSON value parser lives in
+//! [`mba_obs::json`] (shared with the bench-report validators) and is
+//! re-exported here for protocol consumers.
 
-use std::collections::BTreeMap;
 use std::fmt;
+
+pub use mba_obs::json::{json_escape, parse_json, Json};
 
 /// Upper bound on one protocol line, in bytes. A line longer than this
 /// is answered with an `invalid` error and discarded up to the next
 /// newline; the connection survives. Generous enough for any realistic
 /// MBA expression (the paper's corpus averages ~120 characters).
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
-
-/// Maximum JSON nesting depth the parser accepts (the protocol itself
-/// is flat; the bound only stops adversarial `[[[[…` stack growth).
-const MAX_JSON_DEPTH: usize = 32;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (lossy for integers above 2^53, which the
-    /// protocol never uses).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; key order is irrelevant to the protocol.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// The value as an object, if it is one.
-    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
-        match self {
-            Json::Obj(m) => Some(m),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-}
-
-/// Parses one JSON document, requiring it to consume the whole input.
-///
-/// # Errors
-///
-/// Returns a position-annotated message on any syntax error.
-pub fn parse_json(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos, 0)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
-    if depth > MAX_JSON_DEPTH {
-        return Err("nesting too deep".into());
-    }
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos, depth),
-        Some(b'[') => parse_array(b, pos, depth),
-        Some(b'"') => parse_string(b, pos).map(Json::Str),
-        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
-    }
-}
-
-fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(v)
-    } else {
-        Err(format!("bad literal at byte {}", *pos))
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < b.len()
-        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf-8".to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("malformed number `{text}` at byte {start}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(b.get(*pos), Some(&b'"'));
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{0008}'),
-                    Some(b'f') => out.push('\u{000c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex =
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                        // Surrogates render as U+FFFD; the protocol never
-                        // emits them, so no pairing logic is warranted.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences were
-                // validated when the line was decoded).
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf-8".to_string())?;
-                let c = s.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
-    *pos += 1; // '['
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(b, pos, depth + 1)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
-        }
-    }
-}
-
-fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
-    *pos += 1; // '{'
-    let mut map = BTreeMap::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(map));
-    }
-    loop {
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string key at byte {}", *pos));
-        }
-        let key = parse_string(b, pos)?;
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected `:` at byte {}", *pos));
-        }
-        *pos += 1;
-        let value = parse_value(b, pos, depth + 1)?;
-        map.insert(key, value);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
-        }
-    }
-}
-
-/// Escapes a string for embedding in a JSON document.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 // ---------------------------------------------------------------------
 // Typed request layer.
@@ -339,6 +94,10 @@ pub enum ErrorCode {
     Deadline,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The worker handling the request panicked. The request is
+    /// answered (never silently dropped), the panic is counted, and the
+    /// worker pool survives.
+    Internal,
 }
 
 impl ErrorCode {
@@ -350,6 +109,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Deadline => "deadline",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
         }
     }
 }
@@ -409,7 +169,10 @@ pub fn decode_line(line: &str) -> Result<ClientMessage, ProtocolError> {
         }
     }
 
-    if let Some(control) = obj.get("control") {
+    // `cmd` is an accepted alias for `control` (`{"cmd":"stats"}`);
+    // when both are present they must agree on being strings, and
+    // `control` wins.
+    if let Some(control) = obj.get("control").or_else(|| obj.get("cmd")) {
         let name = control.as_str().ok_or_else(|| {
             ProtocolError::new(id, ErrorCode::Invalid, "`control` must be a string")
         })?;
@@ -545,43 +308,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_scalars_and_containers() {
-        assert_eq!(parse_json("null").unwrap(), Json::Null);
-        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
-        assert_eq!(parse_json("-2.5e1").unwrap(), Json::Num(-25.0));
-        assert_eq!(
-            parse_json("\"a\\nb\\u0041\"").unwrap(),
-            Json::Str("a\nbA".into())
-        );
-        assert_eq!(
-            parse_json("[1, [2], {}]").unwrap(),
-            Json::Arr(vec![
-                Json::Num(1.0),
-                Json::Arr(vec![Json::Num(2.0)]),
-                Json::Obj(BTreeMap::new())
-            ])
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "", "{", "}", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}", "tru", "\"open",
-            "{\"a\":1} trailing", "{'a':1}", "{\"a\":01x}",
-        ] {
-            assert!(parse_json(bad).is_err(), "`{bad}` should not parse");
-        }
-    }
-
-    #[test]
-    fn deep_nesting_is_bounded() {
-        let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(parse_json(&deep).is_err());
-        let ok = "[".repeat(10) + &"]".repeat(10);
-        assert!(parse_json(&ok).is_ok());
-    }
-
-    #[test]
     fn decode_full_request() {
         let m = decode_line(
             r#"{"id": 3, "expr": "x + y", "width": 16, "deadline_ms": 100}"#,
@@ -622,6 +348,27 @@ mod tests {
             decode_line(r#"{"control":"ping"}"#).unwrap(),
             ClientMessage::Control(Control::Ping, None)
         );
+    }
+
+    #[test]
+    fn cmd_is_an_alias_for_control() {
+        assert_eq!(
+            decode_line(r#"{"cmd":"stats"}"#).unwrap(),
+            ClientMessage::Control(Control::Stats, None)
+        );
+        assert_eq!(
+            decode_line(r#"{"id":4,"cmd":"ping"}"#).unwrap(),
+            ClientMessage::Control(Control::Ping, Some(4))
+        );
+        // `control` wins when both are given.
+        assert_eq!(
+            decode_line(r#"{"cmd":"ping","control":"stats"}"#).unwrap(),
+            ClientMessage::Control(Control::Stats, None)
+        );
+        let e = decode_line(r#"{"cmd":"reboot"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
+        let e = decode_line(r#"{"cmd":7}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Invalid);
     }
 
     #[test]

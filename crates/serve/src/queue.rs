@@ -7,6 +7,30 @@
 //! block on [`BoundedQueue::pop`] until an item arrives or the queue is
 //! closed **and drained**, which is exactly the graceful-shutdown
 //! sequence: close, let workers finish the backlog, join.
+//!
+//! # Shutdown/wakeup audit
+//!
+//! The invariant under scrutiny: **no item that `try_push` accepted can
+//! be stranded by a concurrent `close()`**. It holds because both sides
+//! run under the one mutex and the close-side wakeup is `notify_all`:
+//!
+//! * An accepted push inserts while holding the lock, so it is ordered
+//!   against any `close()` — the item is in `items` before `closed`
+//!   becomes visible, or the push observed `closed` and was refused.
+//! * `pop` re-checks `items` before `closed` on every wakeup inside its
+//!   lock-held loop, so a popper can never see `closed == true` yet
+//!   skip a non-empty backlog, and spurious wakeups are harmless.
+//! * `close()` uses `notify_all`, so every parked popper re-evaluates;
+//!   `notify_one` on push is safe because each push adds exactly one
+//!   item, and any single woken popper either consumes it or, finding
+//!   the queue already emptied by a faster thread, parks again.
+//!
+//! The residual stranding vector is therefore *outside* the queue: a
+//! worker that panics after popping holds the only reference to its
+//! job. The server contains that with a catch-unwind guard per job (the
+//! request is answered with an `internal` error) plus a post-join drain
+//! in `Server::run`. `concurrent_close_never_strands_accepted_items`
+//! below pins the queue half of the story.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -162,6 +186,70 @@ mod tests {
         q.try_push(8).unwrap();
         q.close();
         assert_eq!(popper.join().unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn concurrent_close_never_strands_accepted_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Stress the shutdown race: producers pushing flat-out, a pool
+        // of blocking poppers, and a close() landing mid-stream. Every
+        // accepted item must be consumed exactly once — by count, and
+        // by value via a per-item consumption tally.
+        for round in 0..20 {
+            let q = Arc::new(BoundedQueue::new(8));
+            let accepted = AtomicUsize::new(0);
+            let consumed_flags: Vec<AtomicUsize> =
+                (0..4 * 64).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let q = Arc::clone(&q);
+                    let flags = &consumed_flags;
+                    scope.spawn(move || {
+                        while let Some(v) = q.pop() {
+                            flags[v as usize].fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+                for t in 0..4 {
+                    let q = Arc::clone(&q);
+                    let accepted = &accepted;
+                    scope.spawn(move || {
+                        for i in 0..64 {
+                            if q.try_push(t * 64 + i).is_ok() {
+                                accepted.fetch_add(1, Ordering::SeqCst);
+                            }
+                            if i % 16 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+                // Close somewhere in the middle of the producer burst.
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    if round % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    q.close();
+                });
+            });
+            let consumed: usize = consumed_flags
+                .iter()
+                .map(|f| f.load(Ordering::SeqCst))
+                .sum();
+            assert_eq!(
+                consumed,
+                accepted.load(Ordering::SeqCst),
+                "round {round}: accepted items lost or duplicated"
+            );
+            assert!(
+                consumed_flags
+                    .iter()
+                    .all(|f| f.load(Ordering::SeqCst) <= 1),
+                "round {round}: an item was consumed twice"
+            );
+            assert!(q.is_empty(), "round {round}: backlog left behind");
+        }
     }
 
     #[test]

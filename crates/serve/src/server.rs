@@ -41,10 +41,11 @@
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use mba_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use mba_sig::{CacheStats, SigCache};
 use mba_solver::{Simplifier, SimplifyConfig};
 
@@ -88,17 +89,35 @@ impl Default for ServerConfig {
     }
 }
 
-/// Monotonic serving counters, all `Relaxed` (telemetry only).
-#[derive(Debug, Default)]
+/// Monotonic serving counters, pre-resolved `mba-obs` handles so the
+/// hot path never touches the registry lock. The same counters are
+/// visible under their dotted names in [`ServerState::metrics`]
+/// snapshots (`serve.requests.served`, `serve.error.*`).
+#[derive(Debug)]
 pub struct Counters {
     /// Requests answered with a simplified expression.
-    pub served: AtomicU64,
+    pub served: Arc<Counter>,
     /// Lines rejected at the protocol layer (`parse` / `invalid`).
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: Arc<Counter>,
     /// Requests shed by backpressure.
-    pub overloaded: AtomicU64,
+    pub overloaded: Arc<Counter>,
     /// Requests answered with a `deadline` error.
-    pub deadline_expired: AtomicU64,
+    pub deadline_expired: Arc<Counter>,
+    /// Requests answered with an `internal` error because the worker
+    /// handling them panicked. Nonzero means a bug, but never a hang.
+    pub internal_errors: Arc<Counter>,
+}
+
+impl Counters {
+    fn resolve(obs: &MetricsRegistry) -> Counters {
+        Counters {
+            served: obs.counter("serve.requests.served"),
+            protocol_errors: obs.counter("serve.error.protocol"),
+            overloaded: obs.counter("serve.error.overloaded"),
+            deadline_expired: obs.counter("serve.error.deadline"),
+            internal_errors: obs.counter("serve.error.internal"),
+        }
+    }
 }
 
 /// A per-connection response writer, shared between the reader thread
@@ -113,19 +132,34 @@ pub struct ServerState {
     /// the signature layer underneath is width-generic and shared.
     simplifiers: RwLock<HashMap<u32, Arc<Simplifier>>>,
     shutting_down: AtomicBool,
+    /// Process-wide metrics registry; per-width simplifiers record
+    /// their stage spans here, so `stats` can break serving time down
+    /// by pipeline stage.
+    obs: Arc<MetricsRegistry>,
     /// Serving counters.
     pub counters: Counters,
+    /// Time from `try_push` acceptance to worker dequeue.
+    queue_wait: Arc<Histogram>,
+    /// Time from worker dequeue to response written.
+    queue_service: Arc<Histogram>,
+    /// Instantaneous queue depth, sampled at enqueue/dequeue edges.
+    queue_depth: Arc<Gauge>,
     /// Writers owed a shutdown acknowledgement once draining finishes.
     ackers: Mutex<Vec<(Option<u64>, SharedWriter)>>,
 }
 
 impl ServerState {
     fn new() -> ServerState {
+        let obs = Arc::new(MetricsRegistry::new());
         ServerState {
             sig_cache: Arc::new(SigCache::new()),
             simplifiers: RwLock::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::resolve(&obs),
+            queue_wait: obs.histogram("serve.queue.wait.micros"),
+            queue_service: obs.histogram("serve.queue.service.micros"),
+            queue_depth: obs.gauge("serve.queue.depth"),
+            obs,
             ackers: Mutex::new(Vec::new()),
         }
     }
@@ -133,6 +167,12 @@ impl ServerState {
     /// The shared signature cache (all widths, all connections).
     pub fn sig_cache(&self) -> &Arc<SigCache> {
         &self.sig_cache
+    }
+
+    /// The process-wide metrics registry (serving counters, queue
+    /// histograms, and the simplifiers' per-stage spans).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// Cumulative signature-cache statistics.
@@ -151,12 +191,13 @@ impl ServerState {
         }
         let mut map = self.simplifiers.write().unwrap();
         Arc::clone(map.entry(width).or_insert_with(|| {
-            Arc::new(Simplifier::with_cache(
+            Arc::new(Simplifier::with_metrics(
                 SimplifyConfig {
                     width,
                     ..SimplifyConfig::default()
                 },
                 Arc::clone(&self.sig_cache),
+                Arc::clone(&self.obs),
             ))
         }))
     }
@@ -257,11 +298,29 @@ impl Server {
         }
         queue.close();
         for w in workers {
-            let _ = w.join();
+            if w.join().is_err() {
+                // A worker died outside the per-job catch-unwind guard
+                // (pre-pop or post-respond). No job is lost at those
+                // points, but count it — a dead worker is still a bug.
+                state.counters.internal_errors.inc();
+            }
+        }
+        // Belt-and-braces: if a worker died, its share of the backlog
+        // may still be queued. The queue is closed, so pop() cannot
+        // block; answer anything left rather than stranding it.
+        while let Some(job) = queue.pop() {
+            write_line(
+                &job.writer,
+                &render_error(&ProtocolError::new(
+                    Some(job.request.id),
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                )),
+            );
         }
         // All responses are flushed; acknowledge the shutdown callers.
         let ackers = std::mem::take(&mut *state.ackers.lock().unwrap());
-        let drained = state.counters.served.load(Ordering::Relaxed);
+        let drained = state.counters.served.get();
         for (id, writer) in ackers {
             write_line(
                 &writer,
@@ -283,8 +342,13 @@ fn effective_workers(configured: usize) -> usize {
 
 /// Writes one response line (appending the newline) and flushes.
 /// Write errors mean the client is gone; the server does not care.
+/// Poison-tolerant: a panic elsewhere while the write mutex was held
+/// must not cascade into every later responder on the connection.
 fn write_line(writer: &Mutex<TcpStream>, line: &str) {
-    let mut w = writer.lock().unwrap();
+    let mut w = match writer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     let _ = w
         .write_all(line.as_bytes())
         .and_then(|()| w.write_all(b"\n"))
@@ -392,7 +456,7 @@ fn read_until_newline(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> R
 }
 
 fn reject_oversized(state: &ServerState, writer: &Mutex<TcpStream>, max_line_bytes: usize) {
-    state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    state.counters.protocol_errors.inc();
     write_line(
         writer,
         &render_error(&ProtocolError::new(
@@ -413,7 +477,7 @@ fn handle_line(
     local_addr: SocketAddr,
 ) -> bool {
     let Ok(line) = std::str::from_utf8(raw) else {
-        state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        state.counters.protocol_errors.inc();
         write_line(
             writer,
             &render_error(&ProtocolError::new(
@@ -430,7 +494,7 @@ fn handle_line(
     }
     match decode_line(line) {
         Err(e) => {
-            state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            state.counters.protocol_errors.inc();
             write_line(writer, &render_error(&e));
             false
         }
@@ -468,23 +532,26 @@ fn handle_line(
                 received: Instant::now(),
                 writer: Arc::clone(writer),
             };
-            if let Err((why, job)) = queue.try_push(job) {
-                let (code, detail) = match why {
-                    PushError::Full => {
-                        state.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                        (
-                            ErrorCode::Overloaded,
-                            format!("queue full (capacity {})", queue.capacity()),
-                        )
-                    }
-                    PushError::Closed => {
-                        (ErrorCode::ShuttingDown, "server is draining".to_string())
-                    }
-                };
-                write_line(
-                    &job.writer,
-                    &render_error(&ProtocolError::new(Some(job.request.id), code, detail)),
-                );
+            match queue.try_push(job) {
+                Ok(()) => state.queue_depth.set(queue.len() as i64),
+                Err((why, job)) => {
+                    let (code, detail) = match why {
+                        PushError::Full => {
+                            state.counters.overloaded.inc();
+                            (
+                                ErrorCode::Overloaded,
+                                format!("queue full (capacity {})", queue.capacity()),
+                            )
+                        }
+                        PushError::Closed => {
+                            (ErrorCode::ShuttingDown, "server is draining".to_string())
+                        }
+                    };
+                    write_line(
+                        &job.writer,
+                        &render_error(&ProtocolError::new(Some(job.request.id), code, detail)),
+                    );
+                }
             }
             false
         }
@@ -500,22 +567,20 @@ fn initiate_shutdown(state: &ServerState, local_addr: SocketAddr) {
 }
 
 fn stats_fields(state: &ServerState, queue: &BoundedQueue<Job>) -> Vec<(String, String)> {
+    // Refresh the cache gauges so the snapshot below is current.
+    state.sig_cache.publish_metrics(&state.obs);
     let cache = state.cache_stats();
     let c = &state.counters;
-    vec![
-        ("served".into(), c.served.load(Ordering::Relaxed).to_string()),
-        (
-            "protocol_errors".into(),
-            c.protocol_errors.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "overloaded".into(),
-            c.overloaded.load(Ordering::Relaxed).to_string(),
-        ),
+    let snapshot = state.obs.snapshot();
+    let mut fields = vec![
+        ("served".into(), c.served.get().to_string()),
+        ("protocol_errors".into(), c.protocol_errors.get().to_string()),
+        ("overloaded".into(), c.overloaded.get().to_string()),
         (
             "deadline_expired".into(),
-            c.deadline_expired.load(Ordering::Relaxed).to_string(),
+            c.deadline_expired.get().to_string(),
         ),
+        ("internal_errors".into(), c.internal_errors.get().to_string()),
         ("queue_depth".into(), queue.len().to_string()),
         ("queue_capacity".into(), queue.capacity().to_string()),
         ("cache_hits".into(), cache.hits.to_string()),
@@ -524,16 +589,65 @@ fn stats_fields(state: &ServerState, queue: &BoundedQueue<Job>) -> Vec<(String, 
             "cache_hit_rate".into(),
             format!("{:.6}", cache.hit_rate()),
         ),
-    ]
+        (
+            "sig_cache_entries".into(),
+            state.sig_cache.len().to_string(),
+        ),
+    ];
+    for (field, metric) in [
+        ("queue_wait", "serve.queue.wait.micros"),
+        ("queue_service", "serve.queue.service.micros"),
+    ] {
+        let (total, count, p95) = snapshot
+            .histogram(metric)
+            .map_or((0, 0, 0), |h| (h.sum, h.count, h.approx_quantile(0.95)));
+        fields.push((format!("{field}_micros_total"), total.to_string()));
+        fields.push((format!("{field}_count"), count.to_string()));
+        fields.push((format!("{field}_p95_micros"), p95.to_string()));
+    }
+    // Pipeline-stage breakdown across every width-keyed simplifier —
+    // same stage set as `mba_bench::report::STAGES`.
+    for stage in ["signature", "basis", "poly_reduce", "rewrite", "final_fold"] {
+        let (sum, count) = snapshot
+            .histogram(&format!("core.stage.{stage}.micros"))
+            .map_or((0, 0), |h| (h.sum, h.count));
+        fields.push((format!("stage_{stage}_micros"), sum.to_string()));
+        fields.push((format!("stage_{stage}_calls"), count.to_string()));
+    }
+    fields
 }
 
 /// The worker loop: drain the queue until it is closed and empty.
+///
+/// Each job runs under a catch-unwind guard, so a panic inside the
+/// simplifier answers *that* request with an `internal` error and the
+/// worker lives on — a panicking input can never strand its caller or
+/// shrink the pool.
 fn worker_loop(queue: &BoundedQueue<Job>, state: &ServerState, delay: Option<Duration>) {
     while let Some(job) = queue.pop() {
+        state.queue_wait.record(job.received.elapsed().as_micros() as u64);
+        state.queue_depth.set(queue.len() as i64);
         if let Some(d) = delay {
             std::thread::sleep(d);
         }
-        serve_job(&job, state);
+        let service = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_job(&job, state);
+        }));
+        if outcome.is_err() {
+            state.counters.internal_errors.inc();
+            write_line(
+                &job.writer,
+                &render_error(&ProtocolError::new(
+                    Some(job.request.id),
+                    ErrorCode::Internal,
+                    "worker panicked while serving this request",
+                )),
+            );
+        }
+        state
+            .queue_service
+            .record(service.elapsed().as_micros() as u64);
     }
 }
 
@@ -549,7 +663,7 @@ fn serve_job(job: &Job, state: &ServerState) {
     let expr: mba_expr::Expr = match job.request.expr.parse() {
         Ok(e) => e,
         Err(e) => {
-            state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            state.counters.protocol_errors.inc();
             write_line(
                 &job.writer,
                 &render_error(&ProtocolError::new(
@@ -567,7 +681,7 @@ fn serve_job(job: &Job, state: &ServerState) {
     if expired(elapsed) {
         return reject_deadline(job, state);
     }
-    state.counters.served.fetch_add(1, Ordering::Relaxed);
+    state.counters.served.inc();
     write_line(
         &job.writer,
         &render_reply(&Reply {
@@ -582,10 +696,7 @@ fn serve_job(job: &Job, state: &ServerState) {
 }
 
 fn reject_deadline(job: &Job, state: &ServerState) {
-    state
-        .counters
-        .deadline_expired
-        .fetch_add(1, Ordering::Relaxed);
+    state.counters.deadline_expired.inc();
     write_line(
         &job.writer,
         &render_error(&ProtocolError::new(

@@ -231,10 +231,14 @@ fn requests_after_shutdown_are_refused_on_other_connections() {
     let mut shutdown_conn = connect(addr);
 
     // Put slow work in flight, then request shutdown from a second
-    // connection while it is still running.
+    // connection while it is still running. The pause lets the first
+    // connection's reader enqueue id 1 before the shutdown flag flips —
+    // without it the two reader threads race and id 1 may be refused
+    // before it was ever "in flight".
     worker_conn
         .send_raw("{\"id\":1,\"expr\":\"(x&~y)*(~x&y) + (x&y)*(x|y)\"}")
         .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
     shutdown_conn.send_raw("{\"control\":\"shutdown\"}").unwrap();
 
     // The first connection tries to sneak another request in during
@@ -261,10 +265,22 @@ fn requests_after_shutdown_are_refused_on_other_connections() {
             }
             Ok(r) => panic!("unexpected response: {}", r.raw),
             Err(e) => {
-                // EOF is only acceptable once the in-flight result has
-                // been delivered and only in place of the refusal (the
-                // reader may already have stopped when id 2 arrived).
-                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                // Connection teardown is only acceptable once the
+                // in-flight result has been delivered and only in place
+                // of the refusal (the reader may already have stopped
+                // when id 2 arrived). A reader that stopped *before*
+                // consuming id 2 leaves those bytes unread, so the drop
+                // surfaces as RST (reset) rather than FIN (EOF) —
+                // either way id 2 was refused, not silently queued.
+                assert!(
+                    matches!(
+                        e.kind(),
+                        std::io::ErrorKind::UnexpectedEof
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    ),
+                    "unexpected transport error: {e}"
+                );
                 assert!(got_first, "in-flight request dropped");
                 break;
             }
@@ -276,5 +292,97 @@ fn requests_after_shutdown_are_refused_on_other_connections() {
 
     let ack = shutdown_conn.recv().unwrap();
     assert_eq!(ack.str_field("ok"), Some("shutdown"));
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_under_concurrent_load_answers_every_accepted_request_once() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Barrier;
+
+    // Multi-threaded shutdown stress: several connections blasting
+    // pipelined requests into a small queue while shutdown lands
+    // mid-stream. The invariant under test — every accepted request is
+    // answered exactly once — shows up client-side as "no duplicate
+    // ids, every response well-formed, EOF only after shutdown began",
+    // and server-side as `run()` returning `Ok(())` (which it only
+    // does after the backlog is drained and flushed).
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        worker_delay: Some(Duration::from_millis(2)),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = harness(config);
+
+    const THREADS: u64 = 4;
+    const WARMUP: u64 = 8;
+    const BLAST: u64 = 40;
+    let ready = Barrier::new(THREADS as usize + 1);
+    let shutdown_sent = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ready = &ready;
+            let shutdown_sent = &shutdown_sent;
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                let mut seen = std::collections::BTreeSet::new();
+                // Phase 1, before shutdown: every request must be
+                // answered — served or shed, never dropped.
+                for i in 0..WARMUP {
+                    let id = t * 10_000 + i;
+                    client
+                        .send_raw(&format!("{{\"id\":{id},\"expr\":\"x + y - 2*(x&y)\"}}"))
+                        .unwrap();
+                }
+                for _ in 0..WARMUP {
+                    let r = client.recv().expect("pre-shutdown request dropped");
+                    assert!(seen.insert(r.id().unwrap()), "duplicate response: {}", r.raw);
+                    match r.error() {
+                        None => assert_eq!(r.str_field("simplified"), Some("x^y")),
+                        Some("overloaded") => {}
+                        Some(other) => panic!("unexpected error `{other}`: {}", r.raw),
+                    }
+                }
+                ready.wait();
+                // Phase 2: blast while shutdown lands mid-stream. Late
+                // sends may fail once the reader stops; reads end at
+                // EOF. Whatever does come back must be well-formed and
+                // arrive exactly once.
+                for i in 0..BLAST {
+                    let id = t * 10_000 + 1_000 + i;
+                    if client
+                        .send_raw(&format!("{{\"id\":{id},\"expr\":\"x + y - 2*(x&y)\"}}"))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                // Reads end at EOF/reset once the reader winds down —
+                // legal only after shutdown was actually requested.
+                while let Ok(r) = client.recv() {
+                    let id = r.id().unwrap_or_else(|| panic!("no id: {}", r.raw));
+                    assert!(seen.insert(id), "duplicate response: {}", r.raw);
+                    match r.error() {
+                        None => assert_eq!(r.str_field("simplified"), Some("x^y")),
+                        Some("overloaded" | "shutting_down") => {}
+                        Some(other) => panic!("unexpected error `{other}`: {}", r.raw),
+                    }
+                }
+                assert!(
+                    shutdown_sent.load(Ordering::SeqCst),
+                    "connection ended before shutdown was requested"
+                );
+            });
+        }
+        ready.wait();
+        std::thread::sleep(Duration::from_millis(5));
+        let mut ctl = connect(addr);
+        shutdown_sent.store(true, Ordering::SeqCst);
+        let ack = ctl.shutdown().unwrap();
+        assert_eq!(ack.str_field("ok"), Some("shutdown"), "{}", ack.raw);
+    });
+
     handle.join().unwrap().unwrap();
 }

@@ -122,6 +122,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
+    fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().len()).collect()
+    }
+
     fn clear(&self) {
         for s in &self.shards {
             s.write().clear();
@@ -272,6 +276,41 @@ impl SigCache {
         self.len() == 0
     }
 
+    /// Per-shard entry counts (summed across the three maps), index
+    /// `0..SHARDS`. The spread shows whether the key hash is balancing
+    /// load across shard locks.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        let mut totals = vec![0usize; SHARDS];
+        for map_lens in [
+            self.tables.shard_lens(),
+            self.and_coeffs.shard_lens(),
+            self.or_coeffs.shard_lens(),
+        ] {
+            for (total, n) in totals.iter_mut().zip(map_lens) {
+                *total += n;
+            }
+        }
+        totals
+    }
+
+    /// Copies the cache's current state into `registry` as gauges:
+    /// `sig.cache.hits` / `sig.cache.misses` / `sig.cache.entries`,
+    /// plus per-shard occupancy under `sig.shard.NN.entries`. Called at
+    /// snapshot points (stats requests, end of bench runs) rather than
+    /// on the lookup hot path — the cache keeps its own atomics and
+    /// this just mirrors them.
+    pub fn publish_metrics(&self, registry: &mba_obs::MetricsRegistry) {
+        let stats = self.stats();
+        registry.gauge("sig.cache.hits").set(stats.hits as i64);
+        registry.gauge("sig.cache.misses").set(stats.misses as i64);
+        registry.gauge("sig.cache.entries").set(self.len() as i64);
+        for (i, n) in self.shard_occupancy().into_iter().enumerate() {
+            registry
+                .gauge(&format!("sig.shard.{i:02}.entries"))
+                .set(n as i64);
+        }
+    }
+
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         self.tables.clear();
@@ -391,6 +430,31 @@ mod tests {
         // A clear between snapshots must not underflow.
         let reset = CacheStats { hits: 0, misses: 0 };
         assert_eq!(reset.since(&before), CacheStats::default());
+    }
+
+    #[test]
+    fn occupancy_and_published_metrics_mirror_cache_state() {
+        let cache = SigCache::new();
+        for src in ["x & y", "x | y", "x ^ y"] {
+            let e: Expr = src.parse().unwrap();
+            let tt = cache.table_of(&e, &vars2()).unwrap();
+            cache.and_coefficients(&tt);
+        }
+        let occupancy = cache.shard_occupancy();
+        assert_eq!(occupancy.len(), SHARDS);
+        assert_eq!(occupancy.iter().sum::<usize>(), cache.len());
+
+        let reg = mba_obs::MetricsRegistry::new();
+        cache.publish_metrics(&reg);
+        let snap = reg.snapshot();
+        let stats = cache.stats();
+        assert_eq!(snap.gauge("sig.cache.hits"), stats.hits as i64);
+        assert_eq!(snap.gauge("sig.cache.misses"), stats.misses as i64);
+        assert_eq!(snap.gauge("sig.cache.entries"), cache.len() as i64);
+        let shard_total: i64 = (0..SHARDS)
+            .map(|i| snap.gauge(&format!("sig.shard.{i:02}.entries")))
+            .sum();
+        assert_eq!(shard_total, cache.len() as i64);
     }
 
     #[test]

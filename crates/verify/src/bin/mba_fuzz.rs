@@ -99,7 +99,8 @@ fn run() -> Result<ExitCode, String> {
         .push_int("oracle_miter_skipped", report.oracle.miter_skipped)
         .push_int("oracle_miter_conflicts", report.oracle.miter_conflicts)
         .push_int("shrink_attempts", report.shrink.attempts)
-        .push_int("shrink_accepted", report.shrink.accepted);
+        .push_int("shrink_accepted", report.shrink.accepted)
+        .push_stage_breakdown(&fuzzer.metrics().snapshot());
     for (kind, count) in &report.per_kind {
         bench.push_int(&format!("cases_{kind}"), *count);
     }

@@ -22,9 +22,12 @@
 //! `(seed, index)` alone, the verdict stream is independent of `--jobs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mba_expr::Expr;
+use mba_obs::MetricsRegistry;
+use mba_sig::SigCache;
 use mba_solver::{Simplifier, SimplifyConfig};
 use rand::rngs::StdRng;
 
@@ -202,16 +205,27 @@ const ORACLE_SALT: u64 = 0x6f72_6163_6c65_5f31;
 
 impl Fuzzer {
     /// Builds a fuzzer; the cached/uncached simplifier pair and the
-    /// oracle are shared by all workers.
+    /// oracle are shared by all workers. Both simplifiers record their
+    /// stage spans into one registry ([`Fuzzer::metrics`]), so the
+    /// fuzz run's stage breakdown covers both paths combined.
     pub fn new(config: FuzzConfig) -> Fuzzer {
-        let cached = Simplifier::with_config(SimplifyConfig {
-            use_cache: true,
-            ..config.simplify.clone()
-        });
-        let uncached = Simplifier::with_config(SimplifyConfig {
-            use_cache: false,
-            ..config.simplify.clone()
-        });
+        let obs = Arc::new(MetricsRegistry::new());
+        let cached = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_cache: true,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
+        let uncached = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_cache: false,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
         let oracle = EquivalenceOracle::new(config.oracle.clone());
         Fuzzer {
             config,
@@ -224,6 +238,12 @@ impl Fuzzer {
     /// The active configuration.
     pub fn config(&self) -> &FuzzConfig {
         &self.config
+    }
+
+    /// The registry shared by both simplification paths; snapshot it
+    /// after [`Fuzzer::run`] for the per-stage timing breakdown.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.cached.metrics()
     }
 
     /// Runs the configured number of iterations and reports.
