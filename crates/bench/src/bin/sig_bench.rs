@@ -1,0 +1,176 @@
+//! **Signature-extraction microbenchmark**: scalar tree-walking truth
+//! tables vs the bit-parallel batch evaluation engine.
+//!
+//! For each variable count `t` in `2..=max_vars` the bench builds one
+//! deterministic pure-bitwise expression over `v0..v{t-1}`, extracts its
+//! truth table with both [`TruthTable::of_scalar`] (one tree walk per
+//! row) and [`TruthTable::of`] (one tape pass per 64 rows), checks the
+//! two tables are identical, and reports rows/second for each path plus
+//! the speedup. Results land in `BENCH_sig.json` for `check_bench_json`
+//! and CI trend diffing.
+//!
+//! The binary exits non-zero if the engine counters report zero tape
+//! compiles — i.e. if the bit-parallel path silently stopped being
+//! exercised.
+
+use std::time::Instant;
+
+use mba_bench::report::BenchReport;
+use mba_expr::{BinOp, Expr, Ident, UnOp};
+use mba_sig::{publish_eval_engine_metrics, TruthTable};
+
+/// Bench-local knobs (the shared [`mba_bench::ExperimentConfig`] flags
+/// are corpus-oriented and do not fit a microbenchmark).
+struct SigBenchConfig {
+    /// Timing repetitions per variable count (`--repeats`).
+    repeats: usize,
+    /// Largest variable count measured (`--max-vars`, 2..=12).
+    max_vars: usize,
+}
+
+impl SigBenchConfig {
+    fn parse(args: &[String]) -> Result<SigBenchConfig, String> {
+        let mut config = SigBenchConfig {
+            repeats: 3,
+            max_vars: 12,
+        };
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut take = |name: &str| -> Result<&String, String> {
+                iter.next()
+                    .ok_or_else(|| format!("{name} requires a value\n{}", Self::usage()))
+            };
+            match flag.as_str() {
+                "--repeats" => {
+                    config.repeats = parse_num(take("--repeats")?)?;
+                    if config.repeats == 0 {
+                        return Err("--repeats must be positive".into());
+                    }
+                }
+                "--max-vars" => {
+                    config.max_vars = parse_num(take("--max-vars")?)?;
+                    if !(2..=12).contains(&config.max_vars) {
+                        return Err("--max-vars must be in 2..=12".into());
+                    }
+                }
+                "--help" | "-h" => return Err(Self::usage()),
+                other => return Err(format!("unknown flag `{other}`\n{}", Self::usage())),
+            }
+        }
+        Ok(config)
+    }
+
+    fn usage() -> String {
+        "usage: sig_bench [--repeats N] [--max-vars 2..=12]".to_string()
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("malformed numeric value `{s}`"))
+}
+
+/// A deterministic pure-bitwise expression over `vars` with a few
+/// operators per variable, cycling through `&`, `^`, `|`, and `~` so
+/// every tape opcode is exercised.
+fn bench_expr(vars: &[Ident]) -> Expr {
+    let mut e = Expr::var(vars[0].as_str());
+    for (i, v) in vars.iter().enumerate().skip(1) {
+        let v = Expr::var(v.as_str());
+        let prev = Expr::var(vars[i - 1].as_str());
+        e = match i % 3 {
+            0 => Expr::binary(BinOp::And, e, Expr::binary(BinOp::Or, v, prev)),
+            1 => Expr::binary(BinOp::Xor, e, Expr::unary(UnOp::Not, v)),
+            _ => Expr::binary(BinOp::Or, e, Expr::binary(BinOp::Xor, v, prev)),
+        };
+    }
+    e
+}
+
+/// Times `f` over `iters` calls and returns rows/second for a table of
+/// `rows` rows.
+fn rows_per_second(rows: usize, iters: usize, mut f: impl FnMut() -> TruthTable) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (rows * iters) as f64 / elapsed.max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match SigBenchConfig::parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Signature extraction: scalar vs bit-parallel truth tables");
+    println!("(repeats={} max-vars={})\n", config.repeats, config.max_vars);
+    println!(
+        "{:<6} {:>8} {:>18} {:>18} {:>10}",
+        "vars", "rows", "scalar rows/s", "batch rows/s", "speedup"
+    );
+
+    let mut report = BenchReport::new("sig");
+    report.push_int("repeats", config.repeats as u64);
+    report.push_int("max_vars", config.max_vars as u64);
+
+    for t in 2..=config.max_vars {
+        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i}"))).collect();
+        let e = bench_expr(&vars);
+        let rows = 1usize << t;
+
+        // The two paths must agree before their speed is worth
+        // comparing.
+        let fast = TruthTable::of(&e, &vars).expect("bench expression is pure bitwise");
+        let slow = TruthTable::of_scalar(&e, &vars).expect("bench expression is pure bitwise");
+        assert_eq!(
+            fast, slow,
+            "bit-parallel and scalar truth tables diverge at t={t}"
+        );
+
+        // Scale iterations inversely with table size so each
+        // measurement covers a comparable row volume.
+        let iters = config.repeats * (4096 / rows).max(1);
+        let scalar = rows_per_second(rows, iters, || {
+            TruthTable::of_scalar(&e, &vars).expect("pure bitwise")
+        });
+        let batch = rows_per_second(rows, iters, || {
+            TruthTable::of(&e, &vars).expect("pure bitwise")
+        });
+        let speedup = batch / scalar.max(1e-9);
+
+        println!("{t:<6} {rows:>8} {scalar:>18.0} {batch:>18.0} {speedup:>9.1}x");
+        report.push_float(&format!("t{t:02}_scalar_rows_per_s"), scalar);
+        report.push_float(&format!("t{t:02}_batch_rows_per_s"), batch);
+        report.push_float(&format!("t{t:02}_speedup"), speedup);
+    }
+
+    // Engine counters, via the same obs bridge the pipeline publishes
+    // through. A zero here means the bit-parallel path was never taken
+    // and every "batch" number above actually measured something else.
+    let registry = mba_obs::MetricsRegistry::new();
+    publish_eval_engine_metrics(&registry);
+    let snapshot = registry.snapshot();
+    let tape_compiles = snapshot.gauge("eval.tape_compiles");
+    let bit_rows = snapshot.gauge("eval.bitparallel.rows");
+    report.push_int("tape_compiles", tape_compiles.max(0) as u64);
+    report.push_int("bitparallel_rows", bit_rows.max(0) as u64);
+
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if tape_compiles < 1 {
+        eprintln!("engine reports zero tape compiles: bit-parallel path not exercised");
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,39 @@
 //! Evaluation of MBA expressions over `w`-bit two's-complement bit-vectors.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::ast::{BinOp, Expr, Ident, UnOp};
+
+/// Error returned by the strict evaluation entry points
+/// ([`Expr::eval_checked`], [`crate::EvalProgram::bind`]) when an
+/// expression mentions a variable the valuation does not bind.
+///
+/// The lenient [`Expr::eval`] reads unbound variables as 0, which is
+/// the right default for constant folding (`pipeline.rs` evaluates
+/// variable-free skeletons under an empty valuation) but silently makes
+/// two *inequivalent* expressions agree when a variable is mistyped or
+/// renamed — exactly the failure mode an equivalence oracle must not
+/// have. Strict callers get this error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundVariableError {
+    name: Ident,
+}
+
+impl UnboundVariableError {
+    /// The variable that was not bound.
+    pub fn name(&self) -> &Ident {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnboundVariableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unbound variable `{}`", self.name)
+    }
+}
+
+impl std::error::Error for UnboundVariableError {}
 
 /// Masks `value` to the low `width` bits.
 ///
@@ -68,6 +99,18 @@ impl Valuation {
         self.values.get(name).copied().unwrap_or(0)
     }
 
+    /// Strict lookup: unbound variables are an error instead of 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundVariableError`] when `name` has no binding.
+    pub fn get_checked(&self, name: &Ident) -> Result<u64, UnboundVariableError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| UnboundVariableError { name: name.clone() })
+    }
+
     /// Iterates over the bindings in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&Ident, u64)> {
         self.values.iter().map(|(k, &v)| (k, v))
@@ -110,6 +153,69 @@ impl Expr {
     pub fn eval(&self, valuation: &Valuation, width: u32) -> u64 {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
         mask(self.eval_wrapping(valuation, width), width)
+    }
+
+    /// Strict evaluation: like [`Expr::eval`], but an unbound variable
+    /// is an error instead of silently reading 0.
+    ///
+    /// Use this wherever two expressions are *compared* by evaluation
+    /// (equivalence oracles, differential tests): under the lenient
+    /// default, a mistyped or renamed variable collapses to 0 on both
+    /// sides and inequivalent expressions can agree on every sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundVariableError`] naming the first unbound
+    /// variable encountered (post-order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    ///
+    /// ```
+    /// use mba_expr::{Expr, Valuation};
+    /// let e: Expr = "x + y".parse().unwrap();
+    /// let v = Valuation::new().with("x", 1);
+    /// assert_eq!(e.eval(&v, 8), 1); // lenient: y reads 0
+    /// assert!(e.eval_checked(&v, 8).is_err()); // strict: y is unbound
+    /// ```
+    pub fn eval_checked(
+        &self,
+        valuation: &Valuation,
+        width: u32,
+    ) -> Result<u64, UnboundVariableError> {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        Ok(mask(self.eval_wrapping_checked(valuation, width)?, width))
+    }
+
+    fn eval_wrapping_checked(
+        &self,
+        valuation: &Valuation,
+        width: u32,
+    ) -> Result<u64, UnboundVariableError> {
+        Ok(match self {
+            Expr::Const(c) => const_to_bits(*c, width),
+            Expr::Var(v) => valuation.get_checked(v)?,
+            Expr::Unary(op, e) => {
+                let x = e.eval_wrapping_checked(valuation, width)?;
+                match op {
+                    UnOp::Neg => x.wrapping_neg(),
+                    UnOp::Not => !x,
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval_wrapping_checked(valuation, width)?;
+                let y = b.eval_wrapping_checked(valuation, width)?;
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                }
+            }
+        })
     }
 
     /// Evaluation without the final mask; intermediate ops wrap on u64 and
@@ -171,6 +277,24 @@ mod tests {
     fn unbound_variables_read_zero() {
         let e: Expr = "x + 1".parse().unwrap();
         assert_eq!(e.eval(&Valuation::new(), 32), 1);
+    }
+
+    #[test]
+    fn checked_eval_rejects_unbound_variables() {
+        let e: Expr = "x + y".parse().unwrap();
+        let err = e.eval_checked(&v(&[("x", 3)]), 32).unwrap_err();
+        assert_eq!(err.name().as_str(), "y");
+        assert!(err.to_string().contains("unbound variable `y`"));
+        // Fully bound valuations agree with the lenient evaluator.
+        let full = v(&[("x", 3), ("y", 9)]);
+        assert_eq!(e.eval_checked(&full, 32).unwrap(), e.eval(&full, 32));
+    }
+
+    #[test]
+    fn checked_lookup() {
+        let val = v(&[("x", 5)]);
+        assert_eq!(val.get_checked(&Ident::new("x")), Ok(5));
+        assert!(val.get_checked(&Ident::new("z")).is_err());
     }
 
     #[test]

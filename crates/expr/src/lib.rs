@@ -35,10 +35,12 @@ pub mod metrics;
 mod ops;
 mod parser;
 mod printer;
+pub mod program;
 pub mod visit;
 
 pub use ast::{BinOp, Expr, Ident, OpDomain, UnOp};
 pub use classify::MbaClass;
-pub use eval::{mask, Valuation};
+pub use eval::{mask, UnboundVariableError, Valuation};
 pub use metrics::Metrics;
 pub use parser::{parse, ParseExprError};
+pub use program::{engine_stats, EngineStats, EvalProgram};

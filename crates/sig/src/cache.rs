@@ -309,6 +309,7 @@ impl SigCache {
                 .gauge(&format!("sig.shard.{i:02}.entries"))
                 .set(n as i64);
         }
+        publish_eval_engine_metrics(registry);
     }
 
     /// Drops every entry and resets the counters.
@@ -319,6 +320,27 @@ impl SigCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+}
+
+/// Mirrors the batch evaluation engine's process-global counters
+/// ([`mba_expr::engine_stats`]) into `registry` as gauges:
+/// `eval.tape_compiles`, `eval.bitparallel.passes`,
+/// `eval.bitparallel.rows`, `eval.batch.passes`, `eval.batch.rows`.
+/// Like [`SigCache::publish_metrics`] (which includes this), it is a
+/// snapshot-point mirror, not a hot-path instrument — `mba-expr` keeps
+/// its own atomics and has no `mba-obs` dependency, so the bridge
+/// lives here with the rest of the signature-layer telemetry.
+pub fn publish_eval_engine_metrics(registry: &mba_obs::MetricsRegistry) {
+    let s = mba_expr::engine_stats();
+    registry.gauge("eval.tape_compiles").set(s.tape_compiles as i64);
+    registry
+        .gauge("eval.bitparallel.passes")
+        .set(s.bit_parallel_passes as i64);
+    registry
+        .gauge("eval.bitparallel.rows")
+        .set(s.bit_parallel_rows as i64);
+    registry.gauge("eval.batch.passes").set(s.batch_passes as i64);
+    registry.gauge("eval.batch.rows").set(s.batch_rows as i64);
 }
 
 /// Solves a 0/1 signature in the ∨ basis without materializing basis
@@ -455,6 +477,11 @@ mod tests {
             .map(|i| snap.gauge(&format!("sig.shard.{i:02}.entries")))
             .sum();
         assert_eq!(shard_total, cache.len() as i64);
+        // The eval-engine mirror rides along: table_of compiled at
+        // least one tape (bit-parallel truth-table extraction), so the
+        // published gauges must be non-zero.
+        assert!(snap.gauge("eval.tape_compiles") >= 1);
+        assert!(snap.gauge("eval.bitparallel.rows") >= 1);
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod table;
 mod truth;
 
 pub use basis::linear_combination;
-pub use cache::{CacheStats, SigCache};
+pub use cache::{publish_eval_engine_metrics, CacheStats, SigCache};
 pub use signature::{NotLinearError, SignatureVector};
 pub use truth::{NotBitwiseError, TruthTable};

@@ -87,10 +87,14 @@ impl SignatureVector {
             let parts = decompose_term(term.expr, term.sign);
             match parts.factors.as_slice() {
                 [] => {
-                    // Constant c == (-c) * (-1): add -c on the all-ones column.
+                    // Constant c == (-c) * (-1): add -c on the all-ones
+                    // column. Subtract rather than negate-then-add:
+                    // `-c` itself overflows for `c == i128::MIN`, while
+                    // `checked_sub` folds that case into the same
+                    // overflow error as any other out-of-range sum.
                     for s in &mut components {
                         *s = s
-                            .checked_add(-parts.coefficient)
+                            .checked_sub(parts.coefficient)
                             .ok_or_else(|| NotLinearError::new("signature overflow"))?;
                     }
                 }
@@ -372,6 +376,30 @@ mod tests {
         let e: Expr = "(x&y&z) + (x|y) - (x|y) + z".parse().unwrap();
         let s = SignatureVector::of_linear(&e, &vars).unwrap();
         assert_eq!(s.to_normalized_expr(&vars).to_string(), "z+(x&y&z)");
+    }
+
+    #[test]
+    fn i128_min_constant_is_an_overflow_error_not_a_panic() {
+        // Regression: the constant-term case computed `-coefficient`,
+        // which panics in debug (wraps in release) for `i128::MIN`
+        // before the checked add could catch it.
+        let err = SignatureVector::of_linear(&Expr::constant(i128::MIN), &vars2()).unwrap_err();
+        assert!(err.to_string().contains("signature overflow"), "{err}");
+        // Same coefficient reached through a product.
+        let e = Expr::binary(
+            mba_expr::BinOp::Mul,
+            Expr::constant(i128::MIN),
+            "x & y".parse().unwrap(),
+        );
+        // A bitwise factor with an i128::MIN coefficient overflows the
+        // signature on the rows where the factor is 1... adding
+        // i128::MIN to 0 is in range, so this one must *succeed*.
+        let s = SignatureVector::of_linear(&e, &vars2()).unwrap();
+        assert_eq!(s.components(), [0, 0, 0, i128::MIN]);
+        // But the sum `i128::MIN + i128::MIN` must overflow cleanly.
+        let double = Expr::binary(mba_expr::BinOp::Add, e.clone(), e);
+        let err = SignatureVector::of_linear(&double, &vars2()).unwrap_err();
+        assert!(err.to_string().contains("signature overflow"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,8 @@
 
 use std::fmt;
 
-use mba_expr::{Expr, Ident};
+use mba_expr::program::row_bit_pattern;
+use mba_expr::{EvalProgram, Expr, Ident};
 
 /// Error returned when a truth table is requested for an expression that
 /// is not pure bitwise, or whose variables are not covered by the
@@ -62,7 +63,11 @@ impl TruthTable {
     /// [`TruthTable::bits`] / [`TruthTable::from_bits`] are available.
     pub const PACKED_MAX_VARS: usize = 6;
 
-    /// Computes the truth table of `e` over `vars`.
+    /// Computes the truth table of `e` over `vars`, **bit-parallel**:
+    /// the expression is compiled once to an [`EvalProgram`] tape and
+    /// each tape pass computes 64 rows at once (each variable bound to
+    /// the lane-packed pattern word of its row-index bit), so the cost
+    /// is `ceil(2^t / 64)` passes instead of `2^t` tree walks.
     ///
     /// # Errors
     ///
@@ -70,6 +75,74 @@ impl TruthTable {
     /// `vars`, or `vars` has more than [`TruthTable::MAX_VARS`] entries
     /// (or duplicates).
     pub fn of(e: &Expr, vars: &[Ident]) -> Result<TruthTable, NotBitwiseError> {
+        Self::validate(e, vars)?;
+        let t = vars.len();
+        let rows = 1usize << t;
+        let program = EvalProgram::compile(e);
+        // Row-index bit position of each *program* variable slot: the
+        // first variable in `vars` is the most significant bit (the
+        // module-level row convention), and the program may use any
+        // subset of `vars`.
+        let positions: Vec<u32> = program
+            .vars()
+            .iter()
+            .map(|v| {
+                let j = vars.iter().position(|x| x == v).expect("validated above");
+                (t - 1 - j) as u32
+            })
+            .collect();
+        let mut words = vec![0u64; positions.len()];
+        let mut blocks = vec![0u64; rows.div_ceil(64)];
+        for (block, out) in blocks.iter_mut().enumerate() {
+            for (word, &p) in words.iter_mut().zip(&positions) {
+                *word = row_bit_pattern(p, block);
+            }
+            *out = program.eval_bits(&words);
+        }
+        if rows < 64 {
+            // Lanes past the last row carry garbage; the table's Eq and
+            // Hash read whole blocks, so mask them off.
+            blocks[0] &= (1u64 << rows) - 1;
+        }
+        Ok(TruthTable {
+            num_vars: t,
+            blocks,
+        })
+    }
+
+    /// The scalar reference implementation of [`TruthTable::of`]: one
+    /// full tree walk per row under a per-row [`mba_expr::Valuation`].
+    /// Kept as the differential-testing and benchmarking baseline for
+    /// the bit-parallel path — `of` and `of_scalar` must agree on every
+    /// input, byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`TruthTable::of`] fails.
+    pub fn of_scalar(e: &Expr, vars: &[Ident]) -> Result<TruthTable, NotBitwiseError> {
+        Self::validate(e, vars)?;
+        let t = vars.len();
+        let rows = 1usize << t;
+        let mut blocks = vec![0u64; rows.div_ceil(64)];
+        for row in 0..rows {
+            let mut valuation = mba_expr::Valuation::new();
+            for (j, var) in vars.iter().enumerate() {
+                let bit = ((row >> (t - 1 - j)) & 1) as u64;
+                valuation.set(var.clone(), bit);
+            }
+            if e.eval(&valuation, 1) == 1 {
+                blocks[row / 64] |= 1 << (row % 64);
+            }
+        }
+        Ok(TruthTable {
+            num_vars: t,
+            blocks,
+        })
+    }
+
+    /// Shared precondition checks of [`TruthTable::of`] and
+    /// [`TruthTable::of_scalar`].
+    fn validate(e: &Expr, vars: &[Ident]) -> Result<(), NotBitwiseError> {
         if vars.len() > Self::MAX_VARS {
             return Err(NotBitwiseError {
                 detail: format!("{} variables exceed the maximum of {}", vars.len(), Self::MAX_VARS),
@@ -92,23 +165,7 @@ impl TruthTable {
                 detail: format!("variable `{stray}` not in the provided order"),
             });
         }
-        let t = vars.len();
-        let rows = 1usize << t;
-        let mut blocks = vec![0u64; rows.div_ceil(64)];
-        for row in 0..rows {
-            let mut valuation = mba_expr::Valuation::new();
-            for (j, var) in vars.iter().enumerate() {
-                let bit = ((row >> (t - 1 - j)) & 1) as u64;
-                valuation.set(var.clone(), bit);
-            }
-            if e.eval(&valuation, 1) == 1 {
-                blocks[row / 64] |= 1 << (row % 64);
-            }
-        }
-        Ok(TruthTable {
-            num_vars: t,
-            blocks,
-        })
+        Ok(())
     }
 
     /// Builds a truth table directly from a row bitmask (row `r` true iff
@@ -278,6 +335,41 @@ mod tests {
         // Packed access must refuse.
         let result = std::panic::catch_unwind(|| t.bits());
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn bit_parallel_matches_scalar_reference() {
+        // The bit-parallel path and the row-per-tree-walk reference must
+        // be byte-identical, across packed (≤64 rows) and block (>64
+        // rows) storage.
+        let vars: Vec<Ident> = (0..7).map(|i| Ident::new(format!("v{i}"))).collect();
+        let cases = [
+            "v0",
+            "~v0",
+            "v0 & v1",
+            "(v0 ^ v1) | ~(v2 & v3)",
+            "((v0 | v1) & (v2 | v3)) ^ (v4 & ~v5)",
+            "~(v0 ^ v1 ^ v2 ^ v3 ^ v4 ^ v5 ^ v6)",
+            "(v0 & -1) | (v1 & 0)",
+        ];
+        for src in cases {
+            let e: Expr = src.parse().unwrap();
+            for t in [1, 2, 3, 6, 7] {
+                if e.vars().len() > t {
+                    continue;
+                }
+                let order = &vars[..t];
+                let fast = TruthTable::of(&e, order).unwrap();
+                let slow = TruthTable::of_scalar(&e, order).unwrap();
+                assert_eq!(fast, slow, "{src} over {t} vars");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_reference_rejects_what_of_rejects() {
+        assert!(TruthTable::of_scalar(&"x + y".parse().unwrap(), &vars2()).is_err());
+        assert!(TruthTable::of_scalar(&"x & z".parse().unwrap(), &vars2()).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! Everything is deterministic given the caller's RNG: no wall-clock
 //! budget is used unless explicitly configured.
 
-use mba_expr::{Expr, Ident, Valuation};
+use mba_expr::{EvalProgram, Expr, Ident, Valuation};
 use mba_sig::TruthTable;
 use mba_smt::{CheckOutcome, MiterBudget, SmtSolver, SolverProfile};
 use rand::Rng;
@@ -313,7 +313,14 @@ impl EquivalenceOracle {
             CheckOutcome::NotEquivalent(cex) => {
                 let valuation = cex.to_valuation();
                 let width = self.config.miter_width;
-                let (lv, rv) = (lhs.eval(&valuation, width), rhs.eval(&valuation, width));
+                // Strict eval: the model binds every miter variable by
+                // construction, so an unbound name here is a bug in the
+                // model extraction and must not be read as 0.
+                let strict = |e: &Expr| {
+                    e.eval_checked(&valuation, width)
+                        .unwrap_or_else(|err| panic!("SAT model incomplete for `{e}`: {err}"))
+                };
+                let (lv, rv) = (strict(lhs), strict(rhs));
                 // Oracle self-check: a SAT model that does not witness
                 // the difference means the miter (or the model
                 // extraction) is wrong. Fail loudly.
@@ -355,7 +362,27 @@ impl EquivalenceOracle {
         self.eval_tier(lhs, rhs, &vars, rng, stats)
     }
 
-    /// Tier 1: corner + random valuations across all configured widths.
+    /// Tier 1: corner + random valuations across all configured widths,
+    /// on the batch evaluation engine.
+    ///
+    /// Both sides are compiled once to [`EvalProgram`] tapes; each
+    /// valuation group (corners, then randoms) is evaluated as one SoA
+    /// batch per width instead of one tree walk per point. Variable
+    /// binding is *strict* — `vars` must cover both expressions, or an
+    /// unbound variable would read 0 on both sides and let inequivalent
+    /// expressions agree on every sample.
+    ///
+    /// The witness, when one exists, is the same the scalar loop found:
+    /// lanes are scanned in valuation order with widths innermost, so
+    /// the first differing `(valuation, width)` pair wins. The random
+    /// group is only drawn (and `rng` only advanced) when the corner
+    /// group found no difference, preserving the corner-mismatch RNG
+    /// stream of the scalar implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vars` does not bind every variable of `lhs` or
+    /// `rhs` — a broken caller the oracle must not paper over.
     fn eval_tier(
         &self,
         lhs: &Expr,
@@ -364,47 +391,75 @@ impl EquivalenceOracle {
         rng: &mut impl Rng,
         stats: &mut OracleStats,
     ) -> Option<Mismatch> {
-        let check_valuation = |v: &Valuation, stats: &mut OracleStats| {
-            for &width in &self.config.widths {
-                stats.evaluations += 1;
-                let (lv, rv) = (lhs.eval(v, width), rhs.eval(v, width));
-                if lv != rv {
-                    return Some(Mismatch {
-                        tier: OracleTier::Eval,
-                        width,
-                        valuation: v.clone(),
-                        lhs_value: lv,
-                        rhs_value: rv,
-                    });
-                }
-            }
-            None
-        };
+        let lp = EvalProgram::compile(lhs);
+        let rp = EvalProgram::compile(rhs);
 
         // Uniform corners: every variable gets the same pattern (the
         // regime where cancellation identities fire) ...
-        for &c in &CORNER_VALUES {
-            let v: Valuation = vars.iter().map(|x| (x.clone(), c)).collect();
-            if let Some(m) = check_valuation(&v, stats) {
-                return Some(m);
-            }
-        }
+        let mut corners: Vec<Valuation> = CORNER_VALUES
+            .iter()
+            .map(|&c| vars.iter().map(|x| (x.clone(), c)).collect())
+            .collect();
         // ... and rotated corners: adjacent variables get different
         // patterns (the regime where carries and sign bits interact).
-        for k in 0..CORNER_VALUES.len() {
-            let v: Valuation = vars
-                .iter()
+        corners.extend((0..CORNER_VALUES.len()).map(|k| {
+            vars.iter()
                 .enumerate()
                 .map(|(j, x)| (x.clone(), CORNER_VALUES[(k + j) % CORNER_VALUES.len()]))
-                .collect();
-            if let Some(m) = check_valuation(&v, stats) {
-                return Some(m);
-            }
+                .collect::<Valuation>()
+        }));
+        if let Some(m) = self.compare_batch(&lp, &rp, &corners, stats) {
+            return Some(m);
         }
-        for _ in 0..self.config.random_valuations {
-            let v: Valuation = vars.iter().map(|x| (x.clone(), rng.gen())).collect();
-            if let Some(m) = check_valuation(&v, stats) {
-                return Some(m);
+
+        let randoms: Vec<Valuation> = (0..self.config.random_valuations)
+            .map(|_| vars.iter().map(|x| (x.clone(), rng.gen())).collect())
+            .collect();
+        self.compare_batch(&lp, &rp, &randoms, stats)
+    }
+
+    /// Evaluates one valuation group on both tapes at every configured
+    /// width and returns the first mismatch in `(valuation, width)`
+    /// order.
+    fn compare_batch(
+        &self,
+        lp: &EvalProgram,
+        rp: &EvalProgram,
+        valuations: &[Valuation],
+        stats: &mut OracleStats,
+    ) -> Option<Mismatch> {
+        if valuations.is_empty() || self.config.widths.is_empty() {
+            return None;
+        }
+        let strict = |r: Result<Vec<Vec<u64>>, mba_expr::UnboundVariableError>| {
+            r.unwrap_or_else(|e| panic!("oracle valuation does not cover both expressions: {e}"))
+        };
+        let lcols = strict(lp.bind(valuations));
+        let rcols = strict(rp.bind(valuations));
+        let per_width: Vec<(u32, Vec<u64>, Vec<u64>)> = self
+            .config
+            .widths
+            .iter()
+            .map(|&width| {
+                stats.evaluations += valuations.len() as u64;
+                (
+                    width,
+                    lp.eval_batch(valuations.len(), &lcols, width),
+                    rp.eval_batch(valuations.len(), &rcols, width),
+                )
+            })
+            .collect();
+        for (lane, valuation) in valuations.iter().enumerate() {
+            for (width, lv, rv) in &per_width {
+                if lv[lane] != rv[lane] {
+                    return Some(Mismatch {
+                        tier: OracleTier::Eval,
+                        width: *width,
+                        valuation: valuation.clone(),
+                        lhs_value: lv[lane],
+                        rhs_value: rv[lane],
+                    });
+                }
             }
         }
         None
@@ -435,7 +490,13 @@ fn truth_table_witness(
         })
         .collect();
     let width = 8;
-    let (lv, rv) = (lhs.eval(&valuation, width), rhs.eval(&valuation, width));
+    // Strict eval: `vars` is the variable union of both sides, so an
+    // unbound name means the caller passed the wrong variable set.
+    let strict = |e: &Expr| {
+        e.eval_checked(&valuation, width)
+            .unwrap_or_else(|err| panic!("truth-table witness incomplete for `{e}`: {err}"))
+    };
+    let (lv, rv) = (strict(lhs), strict(rhs));
     debug_assert_ne!(lv, rv, "truth-table witness must reproduce");
     Mismatch {
         tier: OracleTier::TruthTable,
@@ -571,6 +632,24 @@ mod tests {
         merged.merge(&b);
         assert_eq!(merged.checks, 2);
         assert_eq!(merged.proofs(), a.proofs() + b.proofs());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn eval_tier_rejects_mismatched_variable_sets() {
+        // Before eval went strict, a variable missing from `vars` read
+        // as 0 on both sides, so `x + y` vs `x` *agreed* on every
+        // sample and the refuter silently lost its power. It must blow
+        // up instead.
+        let o = oracle();
+        let mut stats = OracleStats::default();
+        o.eval_tier(
+            &"x + y".parse().unwrap(),
+            &"x".parse().unwrap(),
+            &[Ident::new("x")],
+            &mut StdRng::seed_from_u64(7),
+            &mut stats,
+        );
     }
 
     #[test]
