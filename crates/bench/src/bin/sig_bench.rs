@@ -1,23 +1,35 @@
 //! **Signature-extraction microbenchmark**: scalar tree-walking truth
-//! tables vs the bit-parallel batch evaluation engine.
+//! tables vs the bit-parallel batch evaluation engine, and the SiMBA
+//! corner-recovery fast path vs the classic basis solve.
 //!
 //! For each variable count `t` in `2..=max_vars` the bench builds one
 //! deterministic pure-bitwise expression over `v0..v{t-1}`, extracts its
 //! truth table with both [`TruthTable::of_scalar`] (one tree walk per
 //! row) and [`TruthTable::of`] (one tape pass per 64 rows), checks the
 //! two tables are identical, and reports rows/second for each path plus
-//! the speedup. Results land in `BENCH_sig.json` for `check_bench_json`
-//! and CI trend diffing.
+//! the speedup. A second section builds one deterministic *linear* MBA
+//! per `t` and times two ways of recovering its ∧-basis coefficients:
+//! the SiMBA fast path (`2^t` corner evaluations + Möbius inversion,
+//! [`mba_sig::simba::recover_coefficients`]) against the classic basis
+//! solve ([`SignatureVector::solve_in_basis`] over the full ∧-basis —
+//! a `2^t × 2^t` rational linear system, the approach the fast path
+//! displaces), after checking both recover the same coefficients and
+//! that the fast route renders byte-identical to `to_normalized_expr`.
+//! A simplifier pass over the same corpus reports the fast-path hit
+//! rate from the process-global counters. Results land in
+//! `BENCH_sig.json` for `check_bench_json` and CI trend diffing.
 //!
 //! The binary exits non-zero if the engine counters report zero tape
 //! compiles — i.e. if the bit-parallel path silently stopped being
-//! exercised.
+//! exercised — or if the simplifier pass records a zero fast-path hit
+//! rate.
 
 use std::time::Instant;
 
 use mba_bench::report::BenchReport;
 use mba_expr::{BinOp, Expr, Ident, UnOp};
-use mba_sig::{publish_eval_engine_metrics, TruthTable};
+use mba_sig::{publish_eval_engine_metrics, simba, SignatureVector, TruthTable};
+use mba_solver::Simplifier;
 
 /// Bench-local knobs (the shared [`mba_bench::ExperimentConfig`] flags
 /// are corpus-oriented and do not fit a microbenchmark).
@@ -87,6 +99,60 @@ fn bench_expr(vars: &[Ident]) -> Expr {
     e
 }
 
+/// A deterministic linear MBA over `vars`: `2t` bitwise terms with
+/// cycling coefficients plus a constant — the shape obfuscated linear
+/// expressions actually take, so the route comparison below measures
+/// realistic per-term fan-out on the basis side.
+fn bench_linear_expr(vars: &[Ident]) -> Expr {
+    let t = vars.len();
+    let mut terms: Vec<(i128, Expr)> = Vec::new();
+    for i in 0..2 * t {
+        let a = Expr::var(vars[i % t].as_str());
+        let b = Expr::var(vars[(i + 1) % t].as_str());
+        let term = match i % 4 {
+            0 => Expr::binary(BinOp::And, a, b),
+            1 => Expr::binary(BinOp::Or, a, Expr::unary(UnOp::Not, b)),
+            2 => Expr::binary(BinOp::Xor, a, b),
+            _ => Expr::unary(UnOp::Not, Expr::binary(BinOp::And, a, b)),
+        };
+        terms.push(((i as i128 % 7) - 3, term));
+    }
+    terms.push((5, Expr::one()));
+    mba_sig::linear_combination(&terms)
+}
+
+/// The full ∧-basis over `vars` in the row-index subset order of
+/// `recover_coefficients` (bit `t−1−j` selects variable `j`): every
+/// non-empty conjunction, then the `−1` constant column.
+fn and_basis(t: usize, vars: &[Ident]) -> Vec<Expr> {
+    let mut basis = Vec::with_capacity(1 << t);
+    for s in 1usize..(1 << t) {
+        let mut e: Option<Expr> = None;
+        for j in 0..t {
+            if s & (1 << (t - 1 - j)) != 0 {
+                let v = Expr::var(vars[j].as_str());
+                e = Some(match e {
+                    None => v,
+                    Some(prev) => Expr::binary(BinOp::And, prev, v),
+                });
+            }
+        }
+        basis.push(e.expect("s is non-empty"));
+    }
+    basis.push(Expr::Const(-1));
+    basis
+}
+
+/// Times `f` over `iters` calls and returns calls/second.
+fn calls_per_second<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    iters as f64 / elapsed.max(1e-9)
+}
+
 /// Times `f` over `iters` calls and returns rows/second for a table of
 /// `rows` rows.
 fn rows_per_second(rows: usize, iters: usize, mut f: impl FnMut() -> TruthTable) -> f64 {
@@ -150,6 +216,110 @@ fn main() {
         report.push_float(&format!("t{t:02}_speedup"), speedup);
     }
 
+    // SiMBA route comparison: corner recovery (2^t evaluations +
+    // Möbius) vs the classic basis solve (a 2^t × 2^t rational linear
+    // system over the full ∧-basis). Both must recover the same
+    // coefficients — and the fast route must render byte-identical to
+    // the normalized expression — before speed means anything.
+    println!("\nCoefficient recovery: SiMBA corner route vs classic basis solve");
+    println!(
+        "{:<6} {:>8} {:>16} {:>16} {:>10}",
+        "vars", "terms", "simba solves/s", "basis solves/s", "speedup"
+    );
+    // Beyond this the rational Gaussian elimination (O(8^t)) runs for
+    // minutes-to-hours per solve; the corner route keeps being timed,
+    // the baseline columns are dropped and announced, not silently
+    // truncated.
+    const MAX_BASIS_SOLVE_VARS: usize = 8;
+    let mut linear_corpus = Vec::new();
+    for t in 2..=config.max_vars {
+        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i}"))).collect();
+        let e = bench_linear_expr(&vars);
+
+        let sig = SignatureVector::of_linear(&e, &vars).expect("linear by construction");
+        let fast = simba::simplify_linear(&e, &vars, 64).expect("linear");
+        assert_eq!(
+            fast.to_string(),
+            sig.to_normalized_expr(&vars).to_string(),
+            "fast route render diverges from normalization at t={t}"
+        );
+
+        let simba_iters = config.repeats * (1024 / (1usize << t).min(1024)).max(1);
+        let simba_rate = calls_per_second(simba_iters, || {
+            simba::recover_coefficients(&e, &vars, 64).expect("linear")
+        });
+        report.push_float(&format!("t{t:02}_simba_per_s"), simba_rate);
+        linear_corpus.push(e.clone());
+
+        if t > MAX_BASIS_SOLVE_VARS {
+            println!("{t:<6} {:>8} {simba_rate:>16.0} {:>16} {:>10}", 2 * t + 1, "-", "-");
+            continue;
+        }
+
+        let basis = and_basis(t, &vars);
+        let solved = sig
+            .solve_in_basis(&basis, &vars)
+            .expect("∧-basis is pure bitwise")
+            .expect("∧-basis is unimodular, always solves");
+        let recovered =
+            simba::recover_coefficients(&e, &vars, 64).expect("linear by construction");
+        // `solve_in_basis` orders coefficients by basis element
+        // (subsets 1.., then −1); `recover_coefficients` puts the −1
+        // column at index 0.
+        for (s, &c) in recovered.iter().enumerate() {
+            let classic = if s == 0 { solved[basis.len() - 1] } else { solved[s - 1] };
+            assert_eq!(
+                simba::reduce(c, 64),
+                simba::reduce(classic, 64),
+                "routes recover different coefficients at t={t}, subset {s}"
+            );
+        }
+
+        // Calibrate the baseline's iteration count off one observed
+        // solve so the largest sizes stay affordable.
+        let start = Instant::now();
+        std::hint::black_box(sig.solve_in_basis(&basis, &vars).unwrap().unwrap());
+        let one = start.elapsed().as_secs_f64();
+        let basis_iters = ((0.25 * config.repeats as f64 / one.max(1e-7)) as usize)
+            .clamp(config.repeats, 512 * config.repeats);
+        let basis_rate = calls_per_second(basis_iters, || {
+            sig.solve_in_basis(&basis, &vars).unwrap().unwrap()
+        });
+        let speedup = simba_rate / basis_rate.max(1e-9);
+
+        println!(
+            "{t:<6} {:>8} {simba_rate:>16.0} {basis_rate:>16.1} {speedup:>9.1}x",
+            2 * t + 1
+        );
+        report.push_float(&format!("t{t:02}_basis_per_s"), basis_rate);
+        report.push_float(&format!("t{t:02}_simba_speedup"), speedup);
+    }
+    if config.max_vars > MAX_BASIS_SOLVE_VARS {
+        println!(
+            "(basis-solve baseline capped at t={MAX_BASIS_SOLVE_VARS}: \
+             rational elimination over 2^t x 2^t explodes beyond it)"
+        );
+    }
+
+    // Fast-path hit rate through the full simplifier, from the same
+    // process-global counters the pipeline publishes over obs. Every
+    // corpus entry is linear, so anything below 1.0 means eligible
+    // candidates leaked onto the slow route.
+    let before = simba::simba_stats();
+    let simplifier = Simplifier::new();
+    for e in &linear_corpus {
+        std::hint::black_box(simplifier.simplify(e));
+    }
+    let delta = simba::simba_stats().since(&before);
+    let hit_rate = delta.hit_rate();
+    println!(
+        "\nfast path: {} attempts, {} hits, {} fallbacks (hit rate {:.2})",
+        delta.attempts, delta.hits, delta.fallbacks, hit_rate
+    );
+    report.push_int("simba_attempts", delta.attempts);
+    report.push_int("simba_hits", delta.hits);
+    report.push_float("simba_hit_rate", hit_rate);
+
     // Engine counters, via the same obs bridge the pipeline publishes
     // through. A zero here means the bit-parallel path was never taken
     // and every "batch" number above actually measured something else.
@@ -171,6 +341,10 @@ fn main() {
 
     if tape_compiles < 1 {
         eprintln!("engine reports zero tape compiles: bit-parallel path not exercised");
+        std::process::exit(1);
+    }
+    if hit_rate <= 0.0 {
+        eprintln!("fast-path hit rate is zero: SiMBA route not exercised");
         std::process::exit(1);
     }
 }

@@ -2,14 +2,20 @@
 //! subtrees, opaque abstraction for arithmetic-under-bitwise, and the
 //! arithmetic-reduction glue (the body of Algorithm 1).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use mba_expr::{BinOp, Expr, Ident, UnOp};
-use mba_sig::{cache, SignatureVector, TruthTable};
+use mba_expr::classify::{decompose_term, flatten_sum};
+use mba_expr::{BinOp, Expr, Ident, MbaClass, UnOp};
+use mba_sig::{cache, simba, SignatureVector, TruthTable};
 
 use crate::poly::Poly;
-use crate::simplifier::{Basis, Simplifier};
+use crate::simplifier::{Basis, InjectedBug, Simplifier};
+
+/// Work cap for the semi-linear tier: one corner sweep of `2^t` lanes
+/// per constant-pattern group, at most this many lanes total before
+/// falling back to the opaque-abstraction slow path.
+const SEMI_WORK_CAP: usize = 1 << 16;
 
 /// One lowering pass over a single expression. Collects the temporaries
 /// it abstracts so the driver can substitute them back.
@@ -46,7 +52,20 @@ impl<'a> Pipeline<'a> {
     /// temporaries back. `None` means the pass bailed out (monomial cap)
     /// and the caller should keep the input.
     pub(crate) fn run(&mut self, e: &Expr) -> Option<Expr> {
-        let poly = self.to_poly(e)?;
+        // Tiered lowering: the SiMBA-style corner fast path for linear
+        // inputs, then the grouped-corner semi-linear tier, then the
+        // general recursive lowering. The fast paths feed the same
+        // `Poly` type (and, for linear inputs, the same ∧-basis
+        // expansion) as the slow path, so the rendered output is
+        // byte-identical whichever route ran.
+        let mut poly = self.linear_fast_path(e);
+        if poly.is_none() {
+            poly = self.semi_linear_path(e);
+        }
+        let poly = match poly {
+            Some(p) => p,
+            None => self.to_poly(e)?,
+        };
         let mut rendered = poly.to_expr();
         // Substitute in reverse creation order; replacements contain only
         // original variables, so one pass per temp suffices.
@@ -58,6 +77,170 @@ impl<'a> Pipeline<'a> {
 
     fn width(&self) -> u32 {
         self.simplifier.config().width
+    }
+
+    /// The SiMBA-style fast path (Xu et al.; arXiv 2209.06335): for a
+    /// linear input, recover the normalized ∧-basis coefficients
+    /// directly from the `2^t` {0, −1} corner evaluations — one
+    /// bit-parallel batch sweep plus a Möbius transform — instead of
+    /// walking the tree and extracting per-subtree truth tables.
+    ///
+    /// The recovered coefficients feed the *same* [`expand_and_basis`]
+    /// the truth-table route uses, so the resulting polynomial is
+    /// byte-identical to the slow path's; any recovery failure (probe
+    /// mismatch, too many variables) falls back to it.
+    fn linear_fast_path(&mut self, e: &Expr) -> Option<Poly> {
+        let config = self.simplifier.config();
+        if !config.use_simba {
+            return None;
+        }
+        // The ∨ basis renders different atoms; leave its pipeline alone.
+        if !matches!(config.basis, Basis::And | Basis::Adaptive) {
+            return None;
+        }
+        simba::record_attempt();
+        if e.mba_class() != MbaClass::Linear {
+            return None;
+        }
+        let vars: Vec<Ident> = e.vars().into_iter().collect();
+        if vars.is_empty() || vars.len() > TruthTable::MAX_VARS {
+            return None;
+        }
+        let _t = self.simplifier.stages().simba.time();
+        let Some(mut coeffs) = simba::recover_coefficients(e, &vars, self.width()) else {
+            simba::record_fallback();
+            return None;
+        };
+        if config.injected_bug == Some(InjectedBug::SimbaCoeffFlip) {
+            // Zero the first nonzero recovered coefficient, *after* the
+            // recovery-time probe verification — the kind of silent
+            // post-check corruption the differential fuzzer must catch.
+            if let Some(c) = coeffs.iter_mut().find(|c| **c != 0) {
+                *c = 0;
+            }
+        }
+        simba::record_hit();
+        Some(self.expand_and_basis(&coeffs, &vars))
+    }
+
+    /// The semi-linear tier: lowers `C + Σ aᵢ·fᵢ` where each `fᵢ` is
+    /// bitwise-with-constants. Bit positions are grouped by the pattern
+    /// of the embedded constants' bits; within a group every constant is
+    /// uniform (all-zeros or all-ones), so grounding the constants turns
+    /// the sum into a plain linear MBA whose corner signature is
+    /// recovered per group and re-masked. Groups with identical subset
+    /// coefficients merge (`(B∧m₁)+(B∧m₂) = B∧(m₁|m₂)` for disjoint
+    /// masks), which is what lets `(x&240)+(x&~240)` re-fuse to `x`.
+    ///
+    /// This tier is always on (not gated by `use_simba`) so toggling the
+    /// linear fast path never changes output bytes.
+    fn semi_linear_path(&mut self, e: &Expr) -> Option<Poly> {
+        if !matches!(
+            self.simplifier.config().basis,
+            Basis::And | Basis::Adaptive
+        ) {
+            return None;
+        }
+        if e.mba_class() != MbaClass::SemiLinear {
+            return None;
+        }
+        let vars: Vec<Ident> = e.vars().into_iter().collect();
+        if vars.is_empty() || vars.len() > TruthTable::MAX_VARS {
+            return None;
+        }
+        simba::record_semi_attempt();
+        let _t = self.simplifier.stages().simba.time();
+        match self.expand_semi_linear(e, &vars) {
+            Some(p) => {
+                simba::record_semi_hit();
+                Some(p)
+            }
+            None => {
+                simba::record_semi_fallback();
+                None
+            }
+        }
+    }
+
+    fn expand_semi_linear(&self, e: &Expr, vars: &[Ident]) -> Option<Poly> {
+        let width = self.width();
+        let full_mask = mba_expr::mask(u64::MAX, width);
+        // Split the sum into the additive constant and the
+        // (coefficient, bitwise factor) terms.
+        let mut constant: i128 = 0;
+        let mut terms: Vec<(i128, &Expr)> = Vec::new();
+        for term in flatten_sum(e) {
+            let parts = decompose_term(term.expr, term.sign);
+            match parts.factors.as_slice() {
+                [] => constant = constant.wrapping_add(parts.coefficient),
+                [f] => terms.push((simba::reduce(parts.coefficient, width), f)),
+                // classify() precludes degree ≥ 2 here; stay defensive.
+                _ => return None,
+            }
+        }
+        // Group bit positions 0..width by the bit pattern of every
+        // constant occurring inside the bitwise layer. Within a group
+        // each constant is uniform, so the restriction is linear.
+        let mut consts: BTreeSet<i128> = BTreeSet::new();
+        for (_, f) in &terms {
+            collect_bitwise_consts(f, width, &mut consts)?;
+        }
+        let consts: Vec<i128> = consts.into_iter().collect();
+        let mut groups: BTreeMap<Vec<bool>, u64> = BTreeMap::new();
+        for j in 0..width {
+            let key: Vec<bool> = consts.iter().map(|c| (c >> j) & 1 != 0).collect();
+            *groups.entry(key).or_insert(0) |= 1u64 << j;
+        }
+        // One 2^t corner sweep per group; cap the total lane count.
+        if (1usize << vars.len()).saturating_mul(groups.len()) > SEMI_WORK_CAP {
+            return None;
+        }
+        let mut poly = Poly::zero(width);
+        poly.add_term(Vec::new(), constant);
+        // Recovered subset coefficients, keyed by (subset, coefficient)
+        // so identical contributions from different groups merge their
+        // (disjoint) masks: c·(B∧m₁) + c·(B∧m₂) = c·(B∧(m₁|m₂)). A mask
+        // that grows to full width drops entirely, which is what re-fuses
+        // `(x&240)+(x&~240)` to `x`.
+        let mut merged: BTreeMap<(usize, i128), u64> = BTreeMap::new();
+        for mask_bits in groups.values() {
+            let j = mask_bits.trailing_zeros();
+            let grounded: Vec<(i128, Expr)> = terms
+                .iter()
+                .map(|(a, f)| ground_constants(f, j).map(|g| (*a, g)))
+                .collect::<Option<Vec<_>>>()?;
+            let grounded_expr = mba_sig::linear_combination(&grounded);
+            let mut coeffs = simba::corner_signature(&grounded_expr, vars, width)?;
+            simba::moebius(&mut coeffs);
+            // The all-ones column restricted to the mask is the plain
+            // integer `m`: c₀·((−1) ∧ m) = c₀·m.
+            let c0 = simba::reduce(coeffs[0], width);
+            if c0 != 0 {
+                poly.add_term(
+                    Vec::new(),
+                    c0.wrapping_mul(simba::reduce(*mask_bits as i128, width)),
+                );
+            }
+            for (s, &c) in coeffs.iter().enumerate().skip(1) {
+                let c = simba::reduce(c, width);
+                if c != 0 {
+                    *merged.entry((s, c)).or_insert(0) |= mask_bits;
+                }
+            }
+        }
+        for ((s, c), mask_bits) in merged {
+            let atom = if mask_bits == full_mask {
+                and_of_subset(s, vars)
+            } else {
+                Expr::binary(
+                    BinOp::And,
+                    and_of_subset(s, vars),
+                    Expr::constant(simba::reduce(mask_bits as i128, width)),
+                )
+            };
+            poly.add_term(vec![atom], c);
+        }
+        Some(poly)
     }
 
     /// Lowers an arbitrary MBA expression to a polynomial over atoms.
@@ -215,6 +398,17 @@ impl<'a> Pipeline<'a> {
             Expr::Var(_) => e.clone(),
             Expr::Const(0) | Expr::Const(-1) => e.clone(),
             Expr::Unary(UnOp::Not, a) => Expr::unary(UnOp::Not, self.skeleton(a)),
+            // Arithmetic negation is opaque — except over a literal
+            // chain folding to a bit-uniform constant (`-0`, `- -1`),
+            // which `is_pure_bitwise` admits. The skeleton must admit
+            // exactly the same constants: otherwise the truth-table
+            // route sees an opaque temporary where the corner route
+            // sees a constant, and the two routes' outputs diverge.
+            Expr::Unary(UnOp::Neg, _) => match e.as_literal() {
+                Some(0) => Expr::Const(0),
+                Some(-1) => Expr::Const(-1),
+                _ => self.temp_for(e),
+            },
             Expr::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Xor), a, b) => {
                 Expr::binary(*op, self.skeleton(a), self.skeleton(b))
             }
@@ -281,6 +475,48 @@ impl<'a> Pipeline<'a> {
                 return candidate;
             }
             n += 1;
+        }
+    }
+}
+
+/// Collects every constant occurring inside a bitwise-with-constants
+/// factor, reduced to its symmetric residue mod `2^width` (bits above
+/// the width cannot influence any grouped position). `None` on a shape
+/// outside the semi-linear factor grammar.
+fn collect_bitwise_consts(e: &Expr, width: u32, out: &mut BTreeSet<i128>) -> Option<()> {
+    match e {
+        Expr::Var(_) => Some(()),
+        Expr::Unary(UnOp::Not, a) => collect_bitwise_consts(a, width, out),
+        Expr::Binary(BinOp::And | BinOp::Or | BinOp::Xor, a, b) => {
+            collect_bitwise_consts(a, width, out)?;
+            collect_bitwise_consts(b, width, out)
+        }
+        other => {
+            out.insert(simba::reduce(other.as_literal()?, width));
+            Some(())
+        }
+    }
+}
+
+/// Replaces every constant in a bitwise-with-constants factor by the
+/// uniform constant matching its bit at position `j` (0 or −1), turning
+/// the factor into a pure bitwise expression valid on that bit group.
+fn ground_constants(e: &Expr, j: u32) -> Option<Expr> {
+    match e {
+        Expr::Var(_) => Some(e.clone()),
+        Expr::Unary(UnOp::Not, a) => Some(Expr::unary(UnOp::Not, ground_constants(a, j)?)),
+        Expr::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Xor), a, b) => Some(Expr::binary(
+            *op,
+            ground_constants(a, j)?,
+            ground_constants(b, j)?,
+        )),
+        other => {
+            let c = other.as_literal()?;
+            Some(if (c >> j) & 1 != 0 {
+                Expr::minus_one()
+            } else {
+                Expr::zero()
+            })
         }
     }
 }

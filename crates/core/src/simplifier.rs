@@ -24,16 +24,21 @@ use crate::pipeline::Pipeline;
 /// * `core.stage.poly_reduce.micros` — one whole lowering pass
 ///   (polynomial expansion + reduction); **includes** the signature and
 ///   basis spans, which fire inside it;
+/// * `core.stage.simba.micros` — the SiMBA corner-evaluation fast path
+///   and the semi-linear group-mask tier (fires inside `poly_reduce`,
+///   like the signature/basis spans it replaces on a hit);
 /// * `core.stage.rewrite.micros` — the structural peephole pass;
 /// * `core.stage.final_fold.micros` — the §4.5 final-step bitwise fold.
 ///
 /// Counters under `core.result.*` are pure functions of the simplified
-/// results, so they are byte-identical across worker counts and cache
-/// schedules (unlike stage-span *counts*, which vary with cache hits).
+/// results (and, for `core.result.class.*`, of the *inputs*), so they
+/// are byte-identical across worker counts and cache schedules (unlike
+/// stage-span *counts*, which vary with cache hits).
 #[derive(Debug)]
 pub(crate) struct StageMetrics {
     pub(crate) signature: Arc<Histogram>,
     pub(crate) basis: Arc<Histogram>,
+    pub(crate) simba: Arc<Histogram>,
     poly_reduce: Arc<Histogram>,
     rewrite: Arc<Histogram>,
     final_fold: Arc<Histogram>,
@@ -41,6 +46,10 @@ pub(crate) struct StageMetrics {
     result_rounds: Arc<Counter>,
     result_bailouts: Arc<Counter>,
     result_output_nodes: Arc<Counter>,
+    result_class_linear: Arc<Counter>,
+    result_class_semi_linear: Arc<Counter>,
+    result_class_poly: Arc<Counter>,
+    result_class_non_poly: Arc<Counter>,
 }
 
 impl StageMetrics {
@@ -48,6 +57,7 @@ impl StageMetrics {
         StageMetrics {
             signature: registry.histogram("core.stage.signature.micros"),
             basis: registry.histogram("core.stage.basis.micros"),
+            simba: registry.histogram("core.stage.simba.micros"),
             poly_reduce: registry.histogram("core.stage.poly_reduce.micros"),
             rewrite: registry.histogram("core.stage.rewrite.micros"),
             final_fold: registry.histogram("core.stage.final_fold.micros"),
@@ -55,6 +65,21 @@ impl StageMetrics {
             result_rounds: registry.counter("core.result.rounds"),
             result_bailouts: registry.counter("core.result.bailouts"),
             result_output_nodes: registry.counter("core.result.output_nodes"),
+            result_class_linear: registry.counter("core.result.class.linear"),
+            result_class_semi_linear: registry.counter("core.result.class.semi_linear"),
+            result_class_poly: registry.counter("core.result.class.poly"),
+            result_class_non_poly: registry.counter("core.result.class.non_poly"),
+        }
+    }
+
+    /// Bumps the `core.result.class.*` counter for `class` — keyed on
+    /// the input's classification, a pure function of the input.
+    fn count_class(&self, class: MbaClass) {
+        match class {
+            MbaClass::Linear => self.result_class_linear.inc(),
+            MbaClass::SemiLinear => self.result_class_semi_linear.inc(),
+            MbaClass::Polynomial => self.result_class_poly.inc(),
+            MbaClass::NonPolynomial => self.result_class_non_poly.inc(),
         }
     }
 }
@@ -93,6 +118,15 @@ pub enum InjectedBug {
     AddToOr,
     /// Adds 1 to the whole output — wrong on every input.
     OffByOne,
+    /// Zeroes the first nonzero coefficient the SiMBA fast path
+    /// recovers from corner evaluations (applied *after* the fast
+    /// path's internal verification, so it cannot catch itself). Unlike
+    /// the output-level bugs above, this one corrupts inside the new
+    /// tier: it only fires on expressions the fast path serves, and the
+    /// dropped term makes the output strictly simpler — exactly the
+    /// kind of plausible-looking corruption the score guard would wave
+    /// through.
+    SimbaCoeffFlip,
 }
 
 /// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
@@ -113,6 +147,13 @@ pub struct SimplifyConfig {
     pub final_step: bool,
     /// Enable the look-up table (§4.5): memoize per-expression results.
     pub use_cache: bool,
+    /// Enable the SiMBA linear fast path: recover basis coefficients of
+    /// linear candidates from `2^t` corner evaluations instead of
+    /// per-term truth tables. Off routes every linear candidate through
+    /// the classic truth-table/basis pipeline; outputs are
+    /// byte-identical either way (`tests/simba_differential.rs` holds
+    /// this pinned).
+    pub use_simba: bool,
     /// Normalized basis selection (§7).
     pub basis: Basis,
     /// Testing-only fault injection for the verification subsystem; see
@@ -128,6 +169,7 @@ impl Default for SimplifyConfig {
             max_monomials: 4096,
             final_step: true,
             use_cache: true,
+            use_simba: true,
             basis: Basis::And,
             injected_bug: None,
         }
@@ -226,8 +268,10 @@ impl Simplifier {
     /// let cache = Arc::new(SigCache::new());
     /// let a = Simplifier::with_cache(SimplifyConfig::default(), Arc::clone(&cache));
     /// let b = Simplifier::with_cache(SimplifyConfig::default(), Arc::clone(&cache));
-    /// a.simplify(&"x + y - (x&y)".parse().unwrap());
-    /// b.simplify(&"x + y - (x&y)".parse().unwrap());
+    /// // Polynomial inputs walk the truth-table route (linear ones are
+    /// // handled by the corner-recovery fast path, which needs no cache).
+    /// a.simplify(&"x*y + 2*(x&y)".parse().unwrap());
+    /// b.simplify(&"x*y + 2*(x&y)".parse().unwrap());
     /// assert!(cache.stats().hits > 0, "b reuses a's signature work");
     /// ```
     pub fn with_cache(config: SimplifyConfig, sig_cache: Arc<SigCache>) -> Simplifier {
@@ -251,7 +295,7 @@ impl Simplifier {
     ///     Arc::new(SigCache::new()),
     ///     Arc::clone(&obs),
     /// );
-    /// s.simplify(&"x + y - (x&y)".parse().unwrap());
+    /// s.simplify(&"x*y + 2*(x&y)".parse().unwrap());
     /// let snap = obs.snapshot();
     /// assert_eq!(snap.counter("core.result.exprs"), 1);
     /// assert!(snap.histogram("core.stage.signature.micros").unwrap().count > 0);
@@ -327,6 +371,9 @@ impl Simplifier {
         // `core.result.*` counters are derived from the result alone —
         // the batch API guarantees results are byte-identical across
         // worker counts, so these counters inherit that determinism.
+        // The per-class counters key on the *input* classification,
+        // also a pure function of the case stream.
+        self.stages.count_class(e.mba_class());
         self.stages.result_exprs.inc();
         self.stages.result_rounds.add(rounds as u64);
         if bailed {
@@ -629,6 +676,10 @@ fn apply_injected_bug(bug: InjectedBug, e: &Expr) -> Expr {
             }
             _ => None,
         }),
+        // Applied inside the fast path (`pipeline.rs`), not at the
+        // output level — a corruption of the corner-recovery tier
+        // itself. Nothing to do here.
+        InjectedBug::SimbaCoeffFlip => e.clone(),
     }
 }
 
@@ -863,18 +914,21 @@ mod tests {
         let s = Simplifier::new();
         let d = s.simplify_detailed(&"2*(x|y) - (~x&y) - (x&~y)".parse().unwrap());
         assert_eq!(d.output.to_string(), "x+y");
+        // A polynomial input still exercises the truth-table route (the
+        // linear input above is claimed by the simba fast path).
+        s.simplify(&"x*y + 2*(x&y)".parse().unwrap());
         let snap = s.metrics().snapshot();
-        assert_eq!(snap.counter("core.result.exprs"), 1);
-        assert_eq!(snap.counter("core.result.rounds"), d.rounds as u64);
+        assert_eq!(snap.counter("core.result.exprs"), 2);
         assert_eq!(snap.counter("core.result.bailouts"), 0);
-        assert_eq!(
-            snap.counter("core.result.output_nodes"),
-            d.output.node_count() as u64
-        );
-        // Every pipeline stage ran at least once on a linear MBA input.
+        assert!(snap.counter("core.result.rounds") >= d.rounds as u64);
+        assert_eq!(snap.counter("core.result.class.linear"), 1);
+        assert_eq!(snap.counter("core.result.class.poly"), 1);
+        // Every pipeline stage ran at least once across the two inputs,
+        // including the corner-recovery fast path.
         for stage in [
             "core.stage.signature.micros",
             "core.stage.basis.micros",
+            "core.stage.simba.micros",
             "core.stage.poly_reduce.micros",
             "core.stage.rewrite.micros",
             "core.stage.final_fold.micros",
@@ -1033,6 +1087,9 @@ mod tests {
             (InjectedBug::OrToXor, "x | y"),
             (InjectedBug::AddToOr, "x + y"),
             (InjectedBug::OffByOne, "x"),
+            // SimbaCoeffFlip zeroes the first recovered coefficient
+            // inside the linear fast path, so `x` collapses to `0`.
+            (InjectedBug::SimbaCoeffFlip, "x"),
         ] {
             let broken = Simplifier::with_config(SimplifyConfig {
                 injected_bug: Some(bug),
@@ -1048,6 +1105,92 @@ mod tests {
                 a.eval(&v, 8),
                 "{bug:?} failed to corrupt `{src}` -> `{a}`"
             );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The SiMBA fast path and the semi-linear tier.
+    // ------------------------------------------------------------------
+
+    /// The linear fast path recovers coefficients from corner
+    /// evaluations but expands them through the same ∧-basis renderer,
+    /// so disabling it must not change a single output byte.
+    #[test]
+    fn fast_path_off_is_byte_identical() {
+        let on = Simplifier::new();
+        let off = Simplifier::with_config(SimplifyConfig {
+            use_simba: false,
+            ..SimplifyConfig::default()
+        });
+        for src in [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x^y) + 2*(x|~y) + 2",
+            "x + 2*y + (x&y) - 3*(x^y) + 4",
+            "(x & 240) + (x & ~240)",
+            "(x | 5) + (x & 5)",
+            "x*y + 2*(x&y)",
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+            "-(3*(x&y)) + 200*x",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            assert_eq!(
+                on.simplify(&e).to_string(),
+                off.simplify(&e).to_string(),
+                "fast path changed output bytes for `{src}`"
+            );
+        }
+    }
+
+    /// Semi-linear identities from the worked examples (arXiv
+    /// 2406.10016 §3): constants inside the bitwise layer reduce via
+    /// grouped corner recovery.
+    #[test]
+    fn semi_linear_identities_reduce() {
+        for (src, want) in [
+            ("(x & 240) + (x & ~240)", "x"),
+            ("(x | 5) + (x & 5)", "x+5"),
+            ("(x ^ 85) ^ 85", "x"),
+            ("(x | 3) - 3", "x&-4"),
+            ("(x & 12) + ~(x & 12)", "-1"),
+            ("(x & 3) + (x & 12) + (x & ~15)", "x"),
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let out = Simplifier::new().simplify(&e);
+            assert_eq!(out.to_string(), want, "simplifying `{src}`");
+            // The reduction must be an identity at every width.
+            for (x, y) in [(0u64, 0u64), (3, 5), (255, 1), (u64::MAX, 77), (0x1234_5678, 42)] {
+                let v = Valuation::new().with("x", x).with("y", y);
+                for w in [8u32, 16, 32, 64] {
+                    assert_eq!(e.eval(&v, w), out.eval(&v, w), "`{src}` at width {w}");
+                }
+            }
+        }
+    }
+
+    /// Shapes reclassified from non-poly to semi-linear must come out
+    /// unchanged or strictly simpler — never worse.
+    #[test]
+    fn reclassified_shapes_never_get_worse() {
+        for src in [
+            "x & 3",
+            "(x | 5) - y",
+            "2*(x ^ 7) + (x & y)",
+            "~(x & 12) + 4*y",
+            "(x ^ 85) | (y & 10)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let d = Simplifier::new().simplify_detailed(&e);
+            assert!(
+                d.output.node_count() <= e.node_count(),
+                "`{src}` got worse: `{}`",
+                d.output
+            );
+            for (x, y) in [(0u64, 0u64), (3, 5), (255, 1), (u64::MAX, 77)] {
+                let v = Valuation::new().with("x", x).with("y", y);
+                for w in [8u32, 32, 64] {
+                    assert_eq!(e.eval(&v, w), d.output.eval(&v, w), "`{src}` at width {w}");
+                }
+            }
         }
     }
 

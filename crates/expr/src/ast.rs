@@ -305,6 +305,35 @@ impl Expr {
         }
     }
 
+    /// Whether the expression is *bitwise with constants*: built only
+    /// from variables, arbitrary integer constants and `& | ^ ~`. These
+    /// are the factors of the *semi-linear* class — per-bit boolean
+    /// functions whose constant operands vary across bit positions.
+    /// [`Expr::is_pure_bitwise`] is the special case where every
+    /// constant is bit-uniform (`0` or `-1`).
+    pub fn is_bitwise_with_consts(&self) -> bool {
+        match self {
+            Expr::Const(_) => true,
+            Expr::Var(_) => true,
+            Expr::Unary(UnOp::Not, e) => e.is_bitwise_with_consts(),
+            // As in `is_pure_bitwise`, arithmetic negation only counts
+            // over a literal chain, where it denotes a constant — here
+            // of any value, not just the bit-uniform ones.
+            Expr::Unary(UnOp::Neg, _) => fold_negated_literal(self).is_some(),
+            Expr::Binary(op, a, b) => {
+                op.domain() == OpDomain::Bitwise
+                    && a.is_bitwise_with_consts()
+                    && b.is_bitwise_with_consts()
+            }
+        }
+    }
+
+    /// Folds the expression to a literal constant if it is a `Const`
+    /// under a (possibly empty) chain of unary minuses.
+    pub fn as_literal(&self) -> Option<i128> {
+        fold_negated_literal(self)
+    }
+
     /// Substitutes every occurrence of variable `name` with `replacement`.
     pub fn substitute(&self, name: &Ident, replacement: &Expr) -> Expr {
         match self {

@@ -18,6 +18,13 @@ use crate::ast::{BinOp, Expr, UnOp};
 pub enum MbaClass {
     /// `Σ aᵢ·eᵢ` with each `eᵢ` a pure bitwise expression (Definition 1).
     Linear,
+    /// `Σ aᵢ·eᵢ` of degree ≤ 1 where every factor is bitwise-with-
+    /// constants ([`crate::Expr::is_bitwise_with_consts`]) and at least
+    /// one factor carries a non-uniform constant, e.g. `x & 3`. This is
+    /// the *semi-linear* extension of the trichotomy (Skees, arXiv
+    /// 2406.10016): linear MBA plus constant operands inside the
+    /// bitwise layer.
+    SemiLinear,
     /// `Σ aᵢ·Π eᵢⱼ` with every factor pure bitwise and at least one term
     /// of degree ≥ 2 (Definition 2, excluding the linear case).
     Polynomial,
@@ -30,6 +37,7 @@ impl fmt::Display for MbaClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             MbaClass::Linear => "linear",
+            MbaClass::SemiLinear => "semi-linear",
             MbaClass::Polynomial => "poly",
             MbaClass::NonPolynomial => "non-poly",
         })
@@ -133,19 +141,36 @@ fn collect_factors<'a>(e: &'a Expr, parts: &mut TermParts<'a>) {
 /// ```
 pub fn classify(e: &Expr) -> MbaClass {
     let mut linear = true;
+    let mut semi = false;
     for term in flatten_sum(e) {
         let parts = decompose_term(term.expr, term.sign);
-        if !parts.factors.iter().all(|f| f.is_pure_bitwise()) {
-            return MbaClass::NonPolynomial;
-        }
         if parts.factors.len() > 1 {
+            // Degree ≥ 2 terms must be all-pure: mixing non-uniform
+            // constants into products is outside both Definition 2 and
+            // the semi-linear extension, so it stays non-poly.
+            if !parts.factors.iter().all(|f| f.is_pure_bitwise()) {
+                return MbaClass::NonPolynomial;
+            }
             linear = false;
+        } else if let [factor] = parts.factors.as_slice() {
+            if factor.is_pure_bitwise() {
+                // Plain Definition 1 factor.
+            } else if factor.is_bitwise_with_consts() {
+                // A degree-1 bitwise factor with non-uniform constant
+                // operands, e.g. `x & 3`: semi-linear, not non-poly.
+                semi = true;
+            } else {
+                return MbaClass::NonPolynomial;
+            }
         }
     }
-    if linear {
-        MbaClass::Linear
-    } else {
-        MbaClass::Polynomial
+    match (linear, semi) {
+        (true, false) => MbaClass::Linear,
+        (true, true) => MbaClass::SemiLinear,
+        // A non-uniform constant factor next to a degree ≥ 2 term is
+        // outside the semi-linear class; keep it conservative.
+        (false, true) => MbaClass::NonPolynomial,
+        (false, false) => MbaClass::Polynomial,
     }
 }
 
@@ -234,7 +259,35 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(MbaClass::Linear.to_string(), "linear");
+        assert_eq!(MbaClass::SemiLinear.to_string(), "semi-linear");
         assert_eq!(MbaClass::Polynomial.to_string(), "poly");
         assert_eq!(MbaClass::NonPolynomial.to_string(), "non-poly");
+    }
+
+    /// Regression: these constant-offset bitwise shapes used to be
+    /// misclassified as non-poly; they are semi-linear (linear MBA with
+    /// non-uniform constants inside the bitwise layer).
+    #[test]
+    fn constant_offset_bitwise_terms_are_semi_linear() {
+        assert_eq!(class_of("x & 3"), MbaClass::SemiLinear);
+        assert_eq!(class_of("(x | 5) - y"), MbaClass::SemiLinear);
+        assert_eq!(class_of("2*(x ^ 7) + (x & y)"), MbaClass::SemiLinear);
+        assert_eq!(class_of("(x & 240) + (x & ~240)"), MbaClass::SemiLinear);
+        assert_eq!(class_of("~(x & 12) + 4*y"), MbaClass::SemiLinear);
+        assert_eq!(class_of("(x ^ 85) | (y & 10)"), MbaClass::SemiLinear);
+    }
+
+    /// The reclassification must not leak: arithmetic under a bitwise
+    /// operator and constants inside degree ≥ 2 products stay non-poly,
+    /// and pure shapes keep their old class.
+    #[test]
+    fn semi_linear_reclassification_is_conservative() {
+        assert_eq!(class_of("~(x + 1)"), MbaClass::NonPolynomial);
+        assert_eq!(class_of("(x - y) | 3"), MbaClass::NonPolynomial);
+        assert_eq!(class_of("(x & 3) * y"), MbaClass::NonPolynomial);
+        assert_eq!(class_of("(x & 3) + x*y"), MbaClass::NonPolynomial);
+        assert_eq!(class_of("x & -1"), MbaClass::Linear);
+        assert_eq!(class_of("x & 0"), MbaClass::Linear);
+        assert_eq!(class_of("x*y + 2*(x&y)"), MbaClass::Polynomial);
     }
 }

@@ -154,7 +154,7 @@ impl Corpus {
         // Complexity draw: linear/poly average ~9 alternation, non-poly
         // roughly double with a long tail (Table 1).
         let config = match kind {
-            ObfuscationKind::Linear => ObfuscatorConfig {
+            ObfuscationKind::Linear | ObfuscationKind::SemiLinear => ObfuscatorConfig {
                 linear_extra_terms: rng.gen_range(4..=13),
                 bitwise_depth: rng.gen_range(1..=3),
                 ..ObfuscatorConfig::default()
@@ -178,6 +178,7 @@ impl Corpus {
         // may upgrade, e.g. a poly request whose junk vanished).
         let kind = match obfuscated.mba_class() {
             mba_expr::MbaClass::Linear => ObfuscationKind::Linear,
+            mba_expr::MbaClass::SemiLinear => ObfuscationKind::SemiLinear,
             mba_expr::MbaClass::Polynomial => ObfuscationKind::Polynomial,
             mba_expr::MbaClass::NonPolynomial => ObfuscationKind::NonPolynomial,
         };
@@ -240,6 +241,7 @@ impl Corpus {
             };
             let kind = match kind {
                 "linear" => ObfuscationKind::Linear,
+                "semi-linear" => ObfuscationKind::SemiLinear,
                 "poly" => ObfuscationKind::Polynomial,
                 "non-poly" => ObfuscationKind::NonPolynomial,
                 other => return Err(format!("line {}: unknown kind `{other}`", lineno + 1)),
@@ -295,6 +297,7 @@ mod tests {
             let class = s.obfuscated.mba_class();
             let expected = match s.kind {
                 ObfuscationKind::Linear => mba_expr::MbaClass::Linear,
+                ObfuscationKind::SemiLinear => mba_expr::MbaClass::SemiLinear,
                 ObfuscationKind::Polynomial => mba_expr::MbaClass::Polynomial,
                 ObfuscationKind::NonPolynomial => mba_expr::MbaClass::NonPolynomial,
             };

@@ -1,16 +1,28 @@
-//! The three-category obfuscator: linear, polynomial, and
-//! non-polynomial MBA (Definitions 1–2, Figure 2).
+//! The obfuscator for the paper's three MBA categories (Definitions
+//! 1–2, Figure 2) plus the semi-linear extension (linear MBA with
+//! constants inside the bitwise layer).
 
+use mba_expr::classify::{decompose_term, flatten_sum};
 use mba_expr::{BinOp, Expr, MbaClass, UnOp};
 use rand::Rng;
 
 use crate::identities::{obfuscate_linear, zero_identity};
+
+/// Mask palette for semi-linear obfuscation. None of these is uniform
+/// (all-zeros / all-ones) modulo any supported width ≥ 8, so wrapping a
+/// factor with one always leaves the pure-bitwise fragment.
+pub const SEMI_LINEAR_MASKS: &[i128] = &[
+    3, 5, 6, 9, 10, 12, 0x0f, 0x33, 0x55, 0x66, 0x99, 0xcc,
+];
 
 /// Which MBA category the obfuscated output should land in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ObfuscationKind {
     /// `Σ aᵢ·eᵢ` — Definition 1.
     Linear,
+    /// Linear MBA with non-uniform constants inside the bitwise layer,
+    /// e.g. `(x & 3)` terms — the semi-linear extension.
+    SemiLinear,
     /// `Σ aᵢ·Π eᵢⱼ` with a degree ≥ 2 term — Definition 2.
     Polynomial,
     /// Bitwise over arithmetic — everything outside Definition 2.
@@ -21,6 +33,7 @@ impl std::fmt::Display for ObfuscationKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             ObfuscationKind::Linear => "linear",
+            ObfuscationKind::SemiLinear => "semi-linear",
             ObfuscationKind::Polynomial => "poly",
             ObfuscationKind::NonPolynomial => "non-poly",
         })
@@ -85,9 +98,82 @@ impl Obfuscator {
             ObfuscationKind::Linear => self
                 .linear(target, rng)
                 .unwrap_or_else(|| self.non_poly(target, rng)),
+            ObfuscationKind::SemiLinear => self.semi_linear(target, rng),
             ObfuscationKind::Polynomial => self.poly(target, rng),
             ObfuscationKind::NonPolynomial => self.non_poly(target, rng),
         }
+    }
+
+    /// Semi-linear obfuscation: linear-obfuscate, then push non-uniform
+    /// constants into the bitwise layer with two width-generic
+    /// identities — the mask split `f = (f ∧ m) + (f ∧ ¬m)` and the xor
+    /// wrap `f = (f ⊕ m) ⊕ m` — applied per term so the sum stays
+    /// degree ≤ 1.
+    fn semi_linear(&self, target: &Expr, rng: &mut impl Rng) -> Expr {
+        let Some(base) = self.linear(target, rng) else {
+            return self.non_poly(target, rng);
+        };
+        let mut terms: Vec<(i128, Expr)> = Vec::new();
+        for t in flatten_sum(&base) {
+            let parts = decompose_term(t.expr, t.sign);
+            match parts.factors.as_slice() {
+                [] => terms.push((parts.coefficient, Expr::one())),
+                [f] if f.is_pure_bitwise() && rng.gen_bool(0.6) => {
+                    let mask = SEMI_LINEAR_MASKS[rng.gen_range(0..SEMI_LINEAR_MASKS.len())];
+                    if rng.gen_bool(0.5) {
+                        // a·f = a·(f ∧ m) + a·(f ∧ ¬m). `¬m` is written
+                        // as the unary complement of the constant so the
+                        // identity holds at every width.
+                        let not_mask = Expr::unary(UnOp::Not, Expr::constant(mask));
+                        terms.push((
+                            parts.coefficient,
+                            Expr::binary(BinOp::And, (*f).clone(), Expr::constant(mask)),
+                        ));
+                        terms.push((
+                            parts.coefficient,
+                            Expr::binary(BinOp::And, (*f).clone(), not_mask),
+                        ));
+                    } else {
+                        terms.push((
+                            parts.coefficient,
+                            Expr::binary(
+                                BinOp::Xor,
+                                Expr::binary(BinOp::Xor, (*f).clone(), Expr::constant(mask)),
+                                Expr::constant(mask),
+                            ),
+                        ));
+                    }
+                }
+                factors => {
+                    let product = factors
+                        .iter()
+                        .map(|f| (*f).clone())
+                        .reduce(|a, b| Expr::binary(BinOp::Mul, a, b))
+                        .expect("non-constant term has a factor");
+                    terms.push((parts.coefficient, product));
+                }
+            }
+        }
+        let mut out = mba_sig::linear_combination(&terms);
+        // The random draws may have left every factor untouched; force
+        // the class with a zero-sum mask split of a target variable.
+        if out.mba_class() != MbaClass::SemiLinear {
+            if let Some(v) = target.vars().into_iter().next() {
+                let mask = SEMI_LINEAR_MASKS[rng.gen_range(0..SEMI_LINEAR_MASKS.len())];
+                let var = Expr::var(v);
+                let split = Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(BinOp::And, var.clone(), Expr::constant(mask)),
+                    Expr::binary(
+                        BinOp::And,
+                        var.clone(),
+                        Expr::unary(UnOp::Not, Expr::constant(mask)),
+                    ),
+                );
+                out = out + split - var;
+            }
+        }
+        out
     }
 
     /// Linear obfuscation (signature-preserving decoys).
@@ -287,6 +373,33 @@ mod tests {
             let obf = ob.obfuscate(&target, ObfuscationKind::Linear, &mut rng);
             assert_eq!(obf.mba_class(), MbaClass::Linear, "{src} -> {obf}");
             check_equiv(&target, &obf, &mut rng);
+        }
+    }
+
+    #[test]
+    fn semi_linear_kind_produces_semi_linear_equivalents() {
+        let mut rng = StdRng::seed_from_u64(505);
+        let ob = Obfuscator::new();
+        for src in ["x+y", "x-y", "x^y", "x", "x+y+z", "2*x + y"] {
+            let target: Expr = src.parse().unwrap();
+            let obf = ob.obfuscate(&target, ObfuscationKind::SemiLinear, &mut rng);
+            assert_eq!(obf.mba_class(), MbaClass::SemiLinear, "{src} -> {obf}");
+            check_equiv(&target, &obf, &mut rng);
+        }
+    }
+
+    #[test]
+    fn semi_linear_masks_are_non_uniform_at_all_widths() {
+        for &m in SEMI_LINEAR_MASKS {
+            for width in [8u32, 16, 32, 64] {
+                let masked = mba_expr::mask(m as u64, width);
+                assert_ne!(masked, 0, "mask {m} is all-zeros at width {width}");
+                assert_ne!(
+                    masked,
+                    mba_expr::mask(u64::MAX, width),
+                    "mask {m} is all-ones at width {width}"
+                );
+            }
         }
     }
 

@@ -34,6 +34,12 @@ pub struct RandomExprConfig {
     /// drive polynomial blow-up, so fuzzing wants them present but not
     /// dominant.
     pub mul_weight: f64,
+    /// Probability that a bitwise binary node takes a non-uniform mask
+    /// constant (from [`crate::obfuscate::SEMI_LINEAR_MASKS`]) as its
+    /// right operand, steering trees toward the semi-linear fragment.
+    /// The default 0.0 draws nothing from the RNG, so existing seeded
+    /// streams are bit-for-bit unchanged.
+    pub mask_const_prob: f64,
 }
 
 impl Default for RandomExprConfig {
@@ -45,6 +51,7 @@ impl Default for RandomExprConfig {
             const_leaf_prob: 0.25,
             arith_bias: 0.5,
             mul_weight: 0.2,
+            mask_const_prob: 0.0,
         }
     }
 }
@@ -111,6 +118,15 @@ fn gen_node(
     }
     let op = gen_binop(rng, config);
     let left = gen_node(rng, config, vars, depth - 1);
+    // The `> 0.0` guard keeps the RNG stream untouched at the default
+    // setting, so seeded replays from older runs stay identical.
+    if config.mask_const_prob > 0.0
+        && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+        && rng.gen_bool(config.mask_const_prob.clamp(0.0, 1.0))
+    {
+        let masks = crate::obfuscate::SEMI_LINEAR_MASKS;
+        return Expr::binary(op, left, Expr::Const(masks[rng.gen_range(0..masks.len())]));
+    }
     let right = gen_node(rng, config, vars, depth - 1);
     Expr::binary(op, left, right)
 }
@@ -243,6 +259,47 @@ mod tests {
         let reparsed: Expr = printed.parse().expect("printed form parses");
         let v = mba_expr::Valuation::new().with("x", 0xdead).with("y", 7).with("z", 123);
         assert_eq!(a.eval(&v, 64), reparsed.eval(&v, 64));
+    }
+
+    #[test]
+    fn mask_const_prob_zero_leaves_streams_unchanged() {
+        // Explicitly setting the knob to its default must reproduce the
+        // default stream bit-for-bit (the guard never draws from the
+        // RNG), so older seeded corpora replay identically.
+        let plain = RandomExprConfig::default();
+        let explicit = RandomExprConfig {
+            mask_const_prob: 0.0,
+            ..RandomExprConfig::default()
+        };
+        for seed in [0u64, 7, 99, 12345] {
+            assert_eq!(
+                random_expr(&mut StdRng::seed_from_u64(seed), &plain),
+                random_expr(&mut StdRng::seed_from_u64(seed), &explicit),
+            );
+        }
+    }
+
+    #[test]
+    fn mask_const_prob_steers_toward_semi_linear_shapes() {
+        let config = RandomExprConfig {
+            arith_bias: 0.0,
+            const_leaf_prob: 0.0,
+            mask_const_prob: 0.9,
+            ..RandomExprConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut masked = 0;
+        for _ in 0..100 {
+            let e = random_expr(&mut rng, &config);
+            mba_expr::visit::for_each_preorder(&e, &mut |n| {
+                if let Expr::Binary(BinOp::And | BinOp::Or | BinOp::Xor, _, rhs) = n {
+                    if matches!(**rhs, Expr::Const(c) if c != 0 && c != -1) {
+                        masked += 1;
+                    }
+                }
+            });
+        }
+        assert!(masked > 20, "only {masked} masked bitwise nodes in 100 trees");
     }
 
     #[test]

@@ -250,7 +250,9 @@ fn ping_and_stats_controls_answer_inline() {
     let pong = client.ping().unwrap();
     assert_eq!(pong.str_field("ok"), Some("ping"));
 
-    client.simplify(1, "x + y - (x&y)", 64, None).unwrap();
+    // A polynomial request: linear inputs ride the corner-recovery fast
+    // path and never miss (or hit) the signature cache.
+    client.simplify(1, "x*y + 2*(x&y)", 64, None).unwrap();
     let stats = client.stats().unwrap();
     assert_eq!(stats.str_field("ok"), Some("stats"));
     assert_eq!(stats.u64_field("served"), Some(1));

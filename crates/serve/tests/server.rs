@@ -60,7 +60,7 @@ fn shared_cache_warms_across_connections() {
     let (addr, handle) = harness(ServerConfig::default());
     let first_rate = {
         let mut a = connect(addr);
-        a.simplify(0, "2*(x|y) - (~x&y) - (x&~y)", 64, None)
+        a.simplify(0, "x*y + 2*(x|y) - (~x&y) - (x&~y)", 64, None)
             .unwrap()
             .num_field("cache_hit_rate")
             .unwrap()
@@ -69,10 +69,13 @@ fn shared_cache_warms_across_connections() {
     // cache. The expression is a commuted variant: syntactically new
     // (so the expression-level cache cannot short-circuit it) but its
     // subterm signatures were all computed by the first request, so the
-    // cumulative signature-cache hit rate must rise.
+    // cumulative signature-cache hit rate must rise. The `x*y` term
+    // keeps the request on the truth-table route — without it the whole
+    // input is linear and the corner-recovery fast path would skip the
+    // cache entirely.
     let mut b = connect(addr);
     let second_rate = b
-        .simplify(1, "2*(y|x) - (y&~x) - (~y&x)", 64, None)
+        .simplify(1, "y*x + 2*(y|x) - (y&~x) - (~y&x)", 64, None)
         .unwrap()
         .num_field("cache_hit_rate")
         .unwrap();

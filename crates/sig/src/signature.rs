@@ -287,7 +287,7 @@ impl fmt::Display for SignatureVector {
 
 /// Sort key ordering subsets by the positions of their variables in
 /// declaration order (row-index bit `t-1` is the first variable).
-fn subset_sort_key(s: usize, t: usize) -> Vec<usize> {
+pub(crate) fn subset_sort_key(s: usize, t: usize) -> Vec<usize> {
     (0..t).filter(|j| s & (1 << (t - 1 - j)) != 0).collect()
 }
 

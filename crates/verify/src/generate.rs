@@ -28,6 +28,9 @@ pub enum CaseKind {
     RandomAst,
     /// Linear MBA obfuscation of a known target.
     Linear,
+    /// Semi-linear MBA obfuscation (constants in the bitwise layer) of
+    /// a known target.
+    SemiLinear,
     /// Polynomial MBA obfuscation of a known target.
     Polynomial,
     /// Non-polynomial MBA obfuscation of a known target.
@@ -39,6 +42,7 @@ impl std::fmt::Display for CaseKind {
         f.write_str(match self {
             CaseKind::RandomAst => "random-ast",
             CaseKind::Linear => "linear",
+            CaseKind::SemiLinear => "semi-linear",
             CaseKind::Polynomial => "poly",
             CaseKind::NonPolynomial => "non-poly",
         })
@@ -97,9 +101,10 @@ pub fn case_rng(seed: u64, index: u64) -> StdRng {
 pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
     let mut rng = case_rng(seed, index);
     if rng.gen_bool(config.obfuscated_fraction.clamp(0.0, 1.0)) {
-        let kind = match index % 3 {
+        let kind = match index % 4 {
             0 => ObfuscationKind::Linear,
-            1 => ObfuscationKind::Polynomial,
+            1 => ObfuscationKind::SemiLinear,
+            2 => ObfuscationKind::Polynomial,
             _ => ObfuscationKind::NonPolynomial,
         };
         let target_config = RandomExprConfig {
@@ -112,6 +117,7 @@ pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
             index,
             kind: match kind {
                 ObfuscationKind::Linear => CaseKind::Linear,
+                ObfuscationKind::SemiLinear => CaseKind::SemiLinear,
                 ObfuscationKind::Polynomial => CaseKind::Polynomial,
                 ObfuscationKind::NonPolynomial => CaseKind::NonPolynomial,
             },
@@ -170,7 +176,7 @@ mod tests {
             ..CaseConfig::default()
         };
         let mut seen_kinds = std::collections::BTreeSet::new();
-        for i in 0..24 {
+        for i in 0..32 {
             let case = generate_case(11, i, &config);
             seen_kinds.insert(case.kind);
             let target = case.target.expect("obfuscated case has a target");
@@ -193,7 +199,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(seen_kinds.len(), 3, "all three obfuscation kinds appear");
+        assert_eq!(seen_kinds.len(), 4, "all four obfuscation kinds appear");
     }
 
     #[test]

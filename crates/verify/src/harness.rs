@@ -1,12 +1,14 @@
 //! The differential fuzzing harness.
 //!
 //! Each iteration generates one case (a pure function of
-//! `(seed, index)`), runs it through the simplifier's three entry
-//! points — the shared cache-on path, a cache-off path, and the batch
-//! path — and then interrogates the results:
+//! `(seed, index)`), runs it through the simplifier's entry points —
+//! the shared cache-on path, a cache-off path, the batch path, and
+//! (when no bug is injected) a fast-path-off path — and then
+//! interrogates the results:
 //!
-//! * the three outputs must be **byte-identical** (the PR-1 invariant:
-//!   caching and scheduling are not allowed to change results),
+//! * all outputs must be **byte-identical** (the PR-1 invariant:
+//!   caching, scheduling, and the simba fast path are not allowed to
+//!   change results),
 //! * the output must be **equivalent to the input** per the tiered
 //!   [`EquivalenceOracle`],
 //! * for obfuscator cases the output must also agree with the known
@@ -44,6 +46,9 @@ pub enum SimplifyPath {
     Uncached,
     /// `simplify_batch_with_jobs` over the whole chunk.
     Batch,
+    /// Configuration with `use_simba: false` — the truth-table route,
+    /// pinning the fast path's byte-identity contract.
+    NoSimba,
 }
 
 impl std::fmt::Display for SimplifyPath {
@@ -52,6 +57,7 @@ impl std::fmt::Display for SimplifyPath {
             SimplifyPath::Cached => "cached",
             SimplifyPath::Uncached => "uncached",
             SimplifyPath::Batch => "batch",
+            SimplifyPath::NoSimba => "nosimba",
         })
     }
 }
@@ -197,6 +203,7 @@ pub struct Fuzzer {
     oracle: EquivalenceOracle,
     cached: Simplifier,
     uncached: Simplifier,
+    nosimba: Simplifier,
 }
 
 /// Salt separating the oracle's RNG stream from the generator's, so
@@ -226,12 +233,22 @@ impl Fuzzer {
             Arc::new(SigCache::new()),
             Arc::clone(&obs),
         );
+        let nosimba = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_simba: false,
+                use_cache: true,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
         let oracle = EquivalenceOracle::new(config.oracle.clone());
         Fuzzer {
             config,
             oracle,
             cached,
             uncached,
+            nosimba,
         }
     }
 
@@ -379,6 +396,17 @@ impl Fuzzer {
                     right: SimplifyPath::Uncached,
                 },
             ))
+        } else if self.check_nosimba()
+            && cached_out != self.nosimba.simplify_detailed(&case.expr).output
+        {
+            Some((
+                case.clone(),
+                cached_out.clone(),
+                DiscrepancyKind::PathDivergence {
+                    left: SimplifyPath::Cached,
+                    right: SimplifyPath::NoSimba,
+                },
+            ))
         } else {
             match self.oracle.check(&case.expr, &cached_out, &mut rng, stats) {
                 Verdict::Mismatch(m) => Some((
@@ -420,6 +448,15 @@ impl Fuzzer {
         }
     }
 
+    /// Whether the fast-path-off comparison runs. Injected bugs that
+    /// live *inside* the fast path (e.g. `SimbaCoeffFlip`) corrupt only
+    /// the simba route by design; comparing against the truth-table
+    /// route would misattribute them as path divergence before the
+    /// oracle can issue the correct unsoundness verdict.
+    fn check_nosimba(&self) -> bool {
+        self.config.simplify.injected_bug.is_none() && self.config.simplify.use_simba
+    }
+
     /// Per-case oracle RNG, decorrelated from the generator stream.
     fn oracle_rng(&self, index: u64) -> StdRng {
         case_rng(self.config.seed ^ ORACLE_SALT, index)
@@ -447,6 +484,7 @@ impl Fuzzer {
             DiscrepancyKind::PathDivergence { .. } => {
                 let uncached = &self.uncached;
                 let simplify = self.config.simplify.clone();
+                let with_nosimba = self.check_nosimba();
                 Box::new(move |e: &Expr| {
                     // Fresh cache-on instance per probe so stale cache
                     // state cannot mask (or fake) the divergence.
@@ -460,7 +498,17 @@ impl Fuzzer {
                         .simplify_batch_with_jobs(std::slice::from_ref(e), 2)
                         .remove(0)
                         .output;
-                    a != b || a != c
+                    if a != b || a != c {
+                        return true;
+                    }
+                    with_nosimba && {
+                        let nosimba = Simplifier::with_config(SimplifyConfig {
+                            use_simba: false,
+                            use_cache: true,
+                            ..simplify.clone()
+                        });
+                        nosimba.simplify_detailed(e).output != a
+                    }
                 })
             }
             DiscrepancyKind::GeneratorUnsound(_) => {

@@ -64,6 +64,16 @@ fn add_to_or_is_caught_and_shrinks_to_three_nodes() {
 }
 
 #[test]
+fn simba_coeff_flip_is_caught_and_shrinks_to_three_nodes() {
+    // Zeroes the first recovered basis coefficient inside the SiMBA
+    // linear fast path, *after* the probe verification — exactly the
+    // failure mode a broken Möbius transform would produce. Wrong on
+    // every linear input with a nonzero coefficient, so shrinking
+    // bottoms out at a bare variable.
+    assert_caught_and_shrunk(InjectedBug::SimbaCoeffFlip, 3);
+}
+
+#[test]
 fn injected_bug_discrepancies_are_deterministic() {
     let a = fuzz_with_bug(InjectedBug::OffByOne);
     let b = fuzz_with_bug(InjectedBug::OffByOne);

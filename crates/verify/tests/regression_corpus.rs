@@ -1,8 +1,9 @@
 //! Replays the checked-in regression corpus (`crates/verify/corpus/`)
 //! as a normal `cargo test`: every reproducer — seed entries and any
 //! shrunk discrepancy `mba_fuzz --write-corpus` ever appended — goes
-//! through all three simplify paths and the full oracle stack, and no
-//! invariant may break.
+//! through all four simplify paths (cached, uncached, batch, and
+//! fast-path-off) and the full oracle stack, and no invariant may
+//! break.
 
 use mba_solver::{Simplifier, SimplifyConfig};
 use mba_verify::corpus::{default_corpus_dir, load_dir};
@@ -18,6 +19,12 @@ fn corpus_replays_clean() {
     let cached = Simplifier::new();
     let uncached = Simplifier::with_config(SimplifyConfig {
         use_cache: false,
+        ..SimplifyConfig::default()
+    });
+    // The SiMBA fast path is an optimisation, not a semantics change:
+    // disabling it must yield byte-identical output on every entry.
+    let nosimba = Simplifier::with_config(SimplifyConfig {
+        use_simba: false,
         ..SimplifyConfig::default()
     });
     // Replays are few, so afford the miter a larger budget than the
@@ -42,6 +49,11 @@ fn corpus_replays_clean() {
         assert_eq!(
             cached_out, uncached_out,
             "{name}: cached and uncached paths diverge"
+        );
+        assert_eq!(
+            cached_out,
+            nosimba.simplify_detailed(&rep.expr).output,
+            "{name}: fast-path-off output diverges"
         );
         let mut rng = StdRng::seed_from_u64(i as u64);
         let verdict = oracle.check(&rep.expr, &cached_out, &mut rng, &mut stats);
