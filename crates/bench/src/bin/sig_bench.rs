@@ -19,16 +19,31 @@
 //! rate from the process-global counters. Results land in
 //! `BENCH_sig.json` for `check_bench_json` and CI trend diffing.
 //!
+//! Per variable count the report also carries the hash-consed arena's
+//! warm-lookup column (`tNN_interned_rows_per_s` — an id-keyed
+//! [`mba_sig::SigCache::table_of_id`] hit, i.e. what a repeat skeleton
+//! costs once interning has seen it — plus `tNN_interned_speedup` over
+//! recomputing the table), a `tNN_cycles_per_task` estimate (elapsed ×
+//! the `/proc/cpuinfo` clock estimate), and the exact
+//! `tNN_instrs_per_task` tape-op count (`program.len() × ⌈2^t/64⌉`).
+//! After the simplifier pass, arena interning totals (`arena_nodes`,
+//! `interned_hits`, `interning_hit_rate`, `arena_bytes`) land in the
+//! report and, via [`mba_sig::publish_arena_metrics`], in the obs
+//! registry.
+//!
 //! The binary exits non-zero if the engine counters report zero tape
 //! compiles — i.e. if the bit-parallel path silently stopped being
-//! exercised — or if the simplifier pass records a zero fast-path hit
-//! rate.
+//! exercised — if the simplifier pass records a zero fast-path hit
+//! rate, or if the arena records zero interning hits.
 
 use std::time::Instant;
 
 use mba_bench::report::BenchReport;
-use mba_expr::{BinOp, Expr, Ident, UnOp};
-use mba_sig::{publish_eval_engine_metrics, simba, SignatureVector, TruthTable};
+use mba_expr::{BinOp, EvalProgram, Expr, ExprArena, Ident, UnOp};
+use mba_sig::{
+    publish_arena_metrics, publish_eval_engine_metrics, simba, SigCache, SignatureVector,
+    TruthTable,
+};
 use mba_solver::Simplifier;
 
 /// Bench-local knobs (the shared [`mba_bench::ExperimentConfig`] flags
@@ -164,6 +179,26 @@ fn rows_per_second(rows: usize, iters: usize, mut f: impl FnMut() -> TruthTable)
     (rows * iters) as f64 / elapsed.max(1e-9)
 }
 
+/// Best-effort CPU clock estimate in Hz from `/proc/cpuinfo`, for the
+/// `tNN_cycles_per_task` columns. Falls back to a finite nominal 1 GHz
+/// when the pseudo-file is unavailable or unparseable (containers, or
+/// non-Linux hosts), so the report never carries NaN/Infinity.
+fn cpu_hz_estimate() -> f64 {
+    let text = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("cpu MHz") {
+            if let Some(value) = rest.split(':').nth(1) {
+                if let Ok(mhz) = value.trim().parse::<f64>() {
+                    if mhz.is_finite() && mhz > 0.0 {
+                        return mhz * 1e6;
+                    }
+                }
+            }
+        }
+    }
+    1e9
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = match SigBenchConfig::parse(&args) {
@@ -177,14 +212,23 @@ fn main() {
     println!("Signature extraction: scalar vs bit-parallel truth tables");
     println!("(repeats={} max-vars={})\n", config.repeats, config.max_vars);
     println!(
-        "{:<6} {:>8} {:>18} {:>18} {:>10}",
-        "vars", "rows", "scalar rows/s", "batch rows/s", "speedup"
+        "{:<6} {:>8} {:>16} {:>16} {:>8} {:>16} {:>8}",
+        "vars", "rows", "scalar rows/s", "batch rows/s", "speedup", "interned rows/s", "warm-x"
     );
 
     let mut report = BenchReport::new("sig");
     report.push_int("repeats", config.repeats as u64);
     report.push_int("max_vars", config.max_vars as u64);
 
+    let cpu_hz = cpu_hz_estimate();
+    report.push_float("cpu_hz_estimate", cpu_hz);
+
+    // One arena + id-keyed cache shared across the whole sweep: the
+    // interned column measures what a *repeat* skeleton costs once
+    // hash-consing has seen its shape — an id lookup plus an Arc clone,
+    // no tape pass at all.
+    let bench_arena = ExprArena::new();
+    let bench_cache = SigCache::new();
     for t in 2..=config.max_vars {
         let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i}"))).collect();
         let e = bench_expr(&vars);
@@ -210,10 +254,40 @@ fn main() {
         });
         let speedup = batch / scalar.max(1e-9);
 
-        println!("{t:<6} {rows:>8} {scalar:>18.0} {batch:>18.0} {speedup:>9.1}x");
+        // Warm id-keyed lookup: intern once, prime the cache entry,
+        // then time pure hits. Each hit is sub-microsecond, so use a
+        // larger fixed iteration budget than the recompute paths.
+        let id = bench_arena.intern(&e);
+        let warm = bench_cache
+            .table_of_id(&bench_arena, id, &vars)
+            .expect("bench expression is pure bitwise");
+        assert_eq!(*warm, fast, "cached table diverges at t={t}");
+        let warm_iters = config.repeats * 4096;
+        let interned_calls = calls_per_second(warm_iters, || {
+            bench_cache
+                .table_of_id(&bench_arena, id, &vars)
+                .expect("pure bitwise")
+        });
+        let interned = interned_calls * rows as f64;
+        let warm_speedup = interned / batch.max(1e-9);
+
+        // Cost-model columns for the recompute path: estimated cycles
+        // per truth-table extraction (elapsed × the clock estimate) and
+        // the exact tape-op count it executes (`len × ⌈rows/64⌉`
+        // bit-parallel instruction dispatches).
+        let cycles_per_task = (rows as f64 / batch.max(1e-9)) * cpu_hz;
+        let instrs_per_task = (EvalProgram::compile(&e).len() * rows.div_ceil(64)) as u64;
+
+        println!(
+            "{t:<6} {rows:>8} {scalar:>16.0} {batch:>16.0} {speedup:>7.1}x {interned:>16.0} {warm_speedup:>7.1}x"
+        );
         report.push_float(&format!("t{t:02}_scalar_rows_per_s"), scalar);
         report.push_float(&format!("t{t:02}_batch_rows_per_s"), batch);
         report.push_float(&format!("t{t:02}_speedup"), speedup);
+        report.push_float(&format!("t{t:02}_interned_rows_per_s"), interned);
+        report.push_float(&format!("t{t:02}_interned_speedup"), warm_speedup);
+        report.push_float(&format!("t{t:02}_cycles_per_task"), cycles_per_task);
+        report.push_int(&format!("t{t:02}_instrs_per_task"), instrs_per_task);
     }
 
     // SiMBA route comparison: corner recovery (2^t evaluations +
@@ -320,11 +394,28 @@ fn main() {
     report.push_int("simba_hits", delta.hits);
     report.push_float("simba_hit_rate", hit_rate);
 
+    // Hash-consing totals from the simplifier's own arena over the same
+    // corpus: every intern is either a fresh node or a hit on an
+    // existing id, so `hits / (hits + nodes)` is the fraction of intern
+    // traffic the arena served for free.
+    let arena_stats = simplifier.arena().stats();
+    let intern_traffic = arena_stats.interned_hits + arena_stats.nodes;
+    let interning_hit_rate = arena_stats.interned_hits as f64 / (intern_traffic.max(1)) as f64;
+    println!(
+        "arena: {} nodes, {} interned hits (hit rate {:.2}), {} bytes",
+        arena_stats.nodes, arena_stats.interned_hits, interning_hit_rate, arena_stats.bytes
+    );
+    report.push_int("arena_nodes", arena_stats.nodes);
+    report.push_int("interned_hits", arena_stats.interned_hits);
+    report.push_float("interning_hit_rate", interning_hit_rate);
+    report.push_int("arena_bytes", arena_stats.bytes);
+
     // Engine counters, via the same obs bridge the pipeline publishes
     // through. A zero here means the bit-parallel path was never taken
     // and every "batch" number above actually measured something else.
     let registry = mba_obs::MetricsRegistry::new();
     publish_eval_engine_metrics(&registry);
+    publish_arena_metrics(simplifier.arena(), &registry);
     let snapshot = registry.snapshot();
     let tape_compiles = snapshot.gauge("eval.tape_compiles");
     let bit_rows = snapshot.gauge("eval.bitparallel.rows");
@@ -345,6 +436,10 @@ fn main() {
     }
     if hit_rate <= 0.0 {
         eprintln!("fast-path hit rate is zero: SiMBA route not exercised");
+        std::process::exit(1);
+    }
+    if arena_stats.interned_hits < 1 {
+        eprintln!("arena reports zero interning hits: hash-consing not exercised");
         std::process::exit(1);
     }
 }

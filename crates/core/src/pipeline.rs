@@ -5,8 +5,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
+use mba_expr::arena::Node;
 use mba_expr::classify::{decompose_term, flatten_sum};
-use mba_expr::{BinOp, Expr, Ident, MbaClass, UnOp};
+use mba_expr::{BinOp, EvalProgram, Expr, ExprArena, Ident, MbaClass, NodeId, UnOp};
 use mba_sig::{cache, simba, SignatureVector, TruthTable};
 
 use crate::poly::Poly;
@@ -99,6 +100,9 @@ impl<'a> Pipeline<'a> {
             return None;
         }
         simba::record_attempt();
+        if config.use_arena {
+            return self.linear_fast_path_arena(e);
+        }
         if e.mba_class() != MbaClass::Linear {
             return None;
         }
@@ -115,6 +119,43 @@ impl<'a> Pipeline<'a> {
             // Zero the first nonzero recovered coefficient, *after* the
             // recovery-time probe verification — the kind of silent
             // post-check corruption the differential fuzzer must catch.
+            if let Some(c) = coeffs.iter_mut().find(|c| **c != 0) {
+                *c = 0;
+            }
+        }
+        simba::record_hit();
+        Some(self.expand_and_basis(&coeffs, &vars))
+    }
+
+    /// The arena-keyed twin of the linear fast path: the input is
+    /// interned once, classification and variable collection read the
+    /// precomputed per-node metadata, and the corner sweep runs over an
+    /// [`EvalProgram`] compiled straight from node ids.
+    /// [`EvalProgram::compile_arena`] emits the *same tape* as compiling
+    /// the extracted tree, so the recovered coefficients — and therefore
+    /// the rendered polynomial — are byte-identical to the tree route's.
+    fn linear_fast_path_arena(&mut self, e: &Expr) -> Option<Poly> {
+        let simplifier = self.simplifier;
+        let arena = simplifier.arena();
+        let root = self.stale_id(arena, arena.intern(e));
+        if arena.classify(root) != MbaClass::Linear {
+            return None;
+        }
+        let vars = arena.vars(root);
+        if vars.is_empty() || vars.len() > TruthTable::MAX_VARS {
+            return None;
+        }
+        let _t = simplifier.stages().simba.time();
+        let program = EvalProgram::compile_arena(arena, root);
+        let Some(mut coeffs) =
+            simba::recover_coefficients_program(&program, &vars, self.width())
+        else {
+            simba::record_fallback();
+            return None;
+        };
+        if simplifier.config().injected_bug == Some(InjectedBug::SimbaCoeffFlip) {
+            // Same post-verification corruption as the tree route, so
+            // the fuzzer's SimbaCoeffFlip self-test is arena-agnostic.
             if let Some(c) = coeffs.iter_mut().find(|c| **c != 0) {
                 *c = 0;
             }
@@ -141,10 +182,22 @@ impl<'a> Pipeline<'a> {
         ) {
             return None;
         }
-        if e.mba_class() != MbaClass::SemiLinear {
+        // Classification and variable collection go through the arena's
+        // precomputed metadata when it is on; the id-level classifier is
+        // pinned equal to `Expr::mba_class`, and `ExprArena::vars`
+        // returns name order, matching the `BTreeSet` walk. The
+        // expansion itself stays tree-driven either way (its work is
+        // constant-grounding, not traversal).
+        let (class, vars) = if self.simplifier.config().use_arena {
+            let arena = self.simplifier.arena();
+            let root = arena.intern(e);
+            (arena.classify(root), arena.vars(root))
+        } else {
+            (e.mba_class(), e.vars().into_iter().collect())
+        };
+        if class != MbaClass::SemiLinear {
             return None;
         }
-        let vars: Vec<Ident> = e.vars().into_iter().collect();
         if vars.is_empty() || vars.len() > TruthTable::MAX_VARS {
             return None;
         }
@@ -274,6 +327,9 @@ impl<'a> Pipeline<'a> {
     /// take the signature of the remaining pure-bitwise skeleton, and
     /// expand it in the configured normalized basis.
     fn bitwise_to_poly(&mut self, e: &Expr) -> Option<Poly> {
+        if self.simplifier.config().use_arena {
+            return self.bitwise_to_poly_arena(e);
+        }
         let skeleton = self.skeleton(e);
         let vars: Vec<Ident> = skeleton.vars().into_iter().collect();
         if vars.is_empty() {
@@ -309,6 +365,54 @@ impl<'a> Pipeline<'a> {
             } else {
                 Arc::new(
                     TruthTable::of(&skeleton, &vars)
+                        .expect("skeleton is pure bitwise by construction"),
+                )
+            }
+        };
+        Some(self.table_to_poly(&table, &vars))
+    }
+
+    /// The arena-keyed twin of [`Pipeline::bitwise_to_poly`]: the
+    /// skeleton is built as interned node ids (sharing every subtree the
+    /// arena has seen before, across expressions), and the truth table
+    /// is keyed by `(arena uid, generation, id)` in the signature cache
+    /// — no re-hash of the subtree per lookup.
+    /// [`TruthTable::of_arena`] compiles the identical tape the tree
+    /// route compiles, so tables — and output bytes — never differ.
+    fn bitwise_to_poly_arena(&mut self, e: &Expr) -> Option<Poly> {
+        let simplifier = self.simplifier;
+        let arena = simplifier.arena();
+        let skel = self.skeleton_id(arena, arena.intern(e));
+        let skel = self.stale_id(arena, skel);
+        let vars = arena.vars(skel);
+        if vars.is_empty() {
+            // Constant-only bitwise tree, e.g. ~0: evaluate directly.
+            let skeleton = arena.extract(skel);
+            let value = skeleton.eval(&mba_expr::Valuation::new(), self.width());
+            // Interpret as the symmetric residue so -1 stays -1.
+            let signed = if self.width() == 64 {
+                value as i64 as i128
+            } else if value >= 1u64 << (self.width() - 1) {
+                value as i128 - (1i128 << self.width())
+            } else {
+                value as i128
+            };
+            return Some(Poly::constant(signed, self.width()));
+        }
+        if vars.len() > TruthTable::MAX_VARS {
+            // Too wide for a truth table: keep the subtree opaque.
+            return Some(Poly::atom(arena.extract(skel), self.width()));
+        }
+        let table: Arc<TruthTable> = {
+            let _t = simplifier.stages().signature.time();
+            if self.use_sig_cache() {
+                simplifier
+                    .sig_cache()
+                    .table_of_id(arena, skel, &vars)
+                    .expect("skeleton is pure bitwise by construction")
+            } else {
+                Arc::new(
+                    TruthTable::of_arena(arena, skel, &vars)
                         .expect("skeleton is pure bitwise by construction"),
                 )
             }
@@ -415,6 +519,59 @@ impl<'a> Pipeline<'a> {
             // Anything else — arithmetic subtree or a non-uniform
             // constant — becomes an opaque temporary.
             other => self.temp_for(other),
+        }
+    }
+
+    /// [`Pipeline::skeleton`] over interned node ids. The case split —
+    /// and in particular the `-0` / `- -1` literal-chain folding the
+    /// negated-literal regression pinned — mirrors the tree walker
+    /// exactly, with `as_literal` answered by the arena's precomputed
+    /// per-node metadata instead of a chain walk. Opaque children are
+    /// extracted once to run through the same [`Pipeline::temp_for`]
+    /// (its dedup key is the *canonical form*, which is structural, so
+    /// the extracted copy keys identically), keeping temporary names and
+    /// order byte-identical to the tree route.
+    fn skeleton_id(&mut self, arena: &ExprArena, id: NodeId) -> NodeId {
+        match arena.node(id) {
+            Node::Var(_) | Node::Const(0) | Node::Const(-1) => id,
+            Node::Unary(UnOp::Not, a) => {
+                let sa = self.skeleton_id(arena, a);
+                arena.mk_unary(UnOp::Not, sa)
+            }
+            Node::Unary(UnOp::Neg, _) => match arena.as_literal(id) {
+                Some(0) => arena.mk_const(0),
+                Some(-1) => arena.mk_const(-1),
+                _ => {
+                    let t = self.temp_for(&arena.extract(id));
+                    arena.intern(&t)
+                }
+            },
+            Node::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Xor), a, b) => {
+                let sa = self.skeleton_id(arena, a);
+                let sb = self.skeleton_id(arena, b);
+                arena.mk_binary(op, sa, sb)
+            }
+            _ => {
+                let t = self.temp_for(&arena.extract(id));
+                arena.intern(&t)
+            }
+        }
+    }
+
+    /// The [`InjectedBug::ArenaStaleId`] fault site: when armed, a
+    /// freshly interned id is swapped for its first child's id — the
+    /// observable effect of an intern table that handed back an entry a
+    /// rewrite had invalidated. Leaves (no child to be stale against)
+    /// pass through, so shrinking bottoms out at the smallest composite
+    /// node. A no-op unless the bug is armed.
+    fn stale_id(&self, arena: &ExprArena, id: NodeId) -> NodeId {
+        if self.simplifier.config().injected_bug != Some(InjectedBug::ArenaStaleId) {
+            return id;
+        }
+        match arena.node(id) {
+            Node::Unary(_, a) => a,
+            Node::Binary(_, a, _) => a,
+            Node::Const(_) | Node::Var(_) => id,
         }
     }
 

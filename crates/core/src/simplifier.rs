@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use mba_expr::{metrics, Expr, Ident, MbaClass, Metrics};
+use mba_expr::{metrics, Expr, ExprArena, Ident, MbaClass, Metrics};
 use mba_obs::{Counter, Histogram, MetricsRegistry};
 use mba_sig::{catalog, linear_combination, CacheStats, SigCache, SignatureVector};
 use parking_lot::Mutex;
@@ -127,6 +127,14 @@ pub enum InjectedBug {
     /// kind of plausible-looking corruption the score guard would wave
     /// through.
     SimbaCoeffFlip,
+    /// Makes the arena intern table return a *stale* id: after interning
+    /// the pipeline's root/skeleton, the id is swapped for its first
+    /// child's id — exactly the failure mode of an interner that kept an
+    /// entry alive across a rewrite. Like [`InjectedBug::SimbaCoeffFlip`]
+    /// this corrupts *inside* a tier (the arena-keyed signature route),
+    /// so it only fires when [`SimplifyConfig::use_arena`] is set, and
+    /// the arena-off differential path is immune by construction.
+    ArenaStaleId,
 }
 
 /// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
@@ -154,6 +162,14 @@ pub struct SimplifyConfig {
     /// byte-identical either way (`tests/simba_differential.rs` holds
     /// this pinned).
     pub use_simba: bool,
+    /// Route the pipeline's hot interior through the hash-consed
+    /// [`ExprArena`]: classification, corner recovery, and truth-table
+    /// extraction run over interned node ids, and the signature cache is
+    /// keyed by id instead of re-hashed subtrees. Off routes everything
+    /// through the original `Expr`-walking code; outputs are
+    /// byte-identical either way (`tests/arena_differential.rs` holds
+    /// this pinned).
+    pub use_arena: bool,
     /// Normalized basis selection (§7).
     pub basis: Basis,
     /// Testing-only fault injection for the verification subsystem; see
@@ -170,6 +186,7 @@ impl Default for SimplifyConfig {
             final_step: true,
             use_cache: true,
             use_simba: true,
+            use_arena: true,
             basis: Basis::And,
             injected_bug: None,
         }
@@ -220,6 +237,13 @@ pub struct Simplifier {
     /// [`Simplifier::with_cache`] and across batch workers. Consulted
     /// only when [`SimplifyConfig::use_cache`] is set.
     sig_cache: Arc<SigCache>,
+    /// The hash-consed node arena the pipeline's interior runs over when
+    /// [`SimplifyConfig::use_arena`] is set. Shared across batch workers
+    /// and adaptive sub-solvers (like the signature cache), so
+    /// structurally identical subtrees intern to one id across the whole
+    /// corpus — the cross-expression CSE the id-keyed signature cache
+    /// exploits.
+    arena: Arc<ExprArena>,
     /// Per-stage telemetry registry, shareable via
     /// [`Simplifier::with_metrics`] (the serving layer hands every
     /// simplifier its process-wide registry).
@@ -305,6 +329,18 @@ impl Simplifier {
         sig_cache: Arc<SigCache>,
         obs: Arc<MetricsRegistry>,
     ) -> Simplifier {
+        Simplifier::with_parts(config, sig_cache, Arc::new(ExprArena::new()), obs)
+    }
+
+    /// The fully-explicit constructor: every shared component handed in.
+    /// Internal — adaptive sub-solvers use it to share their parent's
+    /// arena alongside its signature cache and registry.
+    fn with_parts(
+        config: SimplifyConfig,
+        sig_cache: Arc<SigCache>,
+        arena: Arc<ExprArena>,
+        obs: Arc<MetricsRegistry>,
+    ) -> Simplifier {
         let stages = StageMetrics::resolve(&obs);
         Simplifier {
             config,
@@ -313,6 +349,7 @@ impl Simplifier {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             sig_cache,
+            arena,
             obs,
             stages,
         }
@@ -321,6 +358,14 @@ impl Simplifier {
     /// The shared signature-layer cache (for stats or further sharing).
     pub fn sig_cache(&self) -> &Arc<SigCache> {
         &self.sig_cache
+    }
+
+    /// The shared hash-consed node arena (for stats, telemetry bridging,
+    /// or further sharing). Populated only when
+    /// [`SimplifyConfig::use_arena`] is set; an arena-off simplifier
+    /// never interns into it.
+    pub fn arena(&self) -> &Arc<ExprArena> {
+        &self.arena
     }
 
     /// The shared per-stage metrics registry (for snapshots or further
@@ -409,6 +454,20 @@ impl Simplifier {
     /// length. The worker count never affects outputs — results are
     /// byte-identical across any `jobs` value.
     pub fn simplify_batch_with_jobs(&self, exprs: &[Expr], jobs: usize) -> Vec<SimplifyResult> {
+        let refs: Vec<&Expr> = exprs.iter().collect();
+        self.simplify_batch_refs(&refs, jobs)
+    }
+
+    /// [`Simplifier::simplify_batch_with_jobs`] over borrowed inputs.
+    ///
+    /// Callers that already own their corpus elsewhere (the fuzz
+    /// harness, replay drivers) hand in `&[&Expr]` and skip the deep
+    /// `Expr::clone` per case that assembling an owned `Vec<Expr>` would
+    /// cost — with the arena interning structure anyway, that clone was
+    /// pure job-setup overhead. Semantics are identical to the owned
+    /// entry point: same worker resolution, same input-order results,
+    /// byte-identical outputs at any `jobs` value.
+    pub fn simplify_batch_refs(&self, exprs: &[&Expr], jobs: usize) -> Vec<SimplifyResult> {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -453,23 +512,27 @@ impl Simplifier {
     fn simplify_adaptive(&self, e: &Expr) -> Simplified {
         // Both sub-solvers share this simplifier's signature cache (the
         // truth tables are basis-independent, and the ∧ run's Möbius
-        // coefficients double as the ∨ run's fallback) and its metrics
-        // registry — so adaptive runs record one `core.result.exprs`
-        // per basis attempt, i.e. two per input expression.
-        let and_solver = Simplifier::with_metrics(
+        // coefficients double as the ∨ run's fallback), its node arena
+        // (ids stay valid across both runs, so the ∨ run's lookups hit
+        // the ∧ run's interned skeletons), and its metrics registry — so
+        // adaptive runs record one `core.result.exprs` per basis
+        // attempt, i.e. two per input expression.
+        let and_solver = Simplifier::with_parts(
             SimplifyConfig {
                 basis: Basis::And,
                 ..self.config.clone()
             },
             Arc::clone(&self.sig_cache),
+            Arc::clone(&self.arena),
             Arc::clone(&self.obs),
         );
-        let or_solver = Simplifier::with_metrics(
+        let or_solver = Simplifier::with_parts(
             SimplifyConfig {
                 basis: Basis::Or,
                 ..self.config.clone()
             },
             Arc::clone(&self.sig_cache),
+            Arc::clone(&self.arena),
             Arc::clone(&self.obs),
         );
         let and_result = and_solver.simplify_detailed(e);
@@ -680,6 +743,11 @@ fn apply_injected_bug(bug: InjectedBug, e: &Expr) -> Expr {
         // output level — a corruption of the corner-recovery tier
         // itself. Nothing to do here.
         InjectedBug::SimbaCoeffFlip => e.clone(),
+        // Applied where the pipeline interns into the arena
+        // (`pipeline.rs`): the freshly-interned id is swapped for its
+        // first child's, modelling a stale intern-table entry. Nothing
+        // to do at the output level.
+        InjectedBug::ArenaStaleId => e.clone(),
     }
 }
 
@@ -1090,6 +1158,10 @@ mod tests {
             // SimbaCoeffFlip zeroes the first recovered coefficient
             // inside the linear fast path, so `x` collapses to `0`.
             (InjectedBug::SimbaCoeffFlip, "x"),
+            // ArenaStaleId swaps the interned root for its first child
+            // inside the arena-keyed fast path, so `x + y` collapses to
+            // `x` (6 ≠ 3 at the probe valuation below).
+            (InjectedBug::ArenaStaleId, "x + y"),
         ] {
             let broken = Simplifier::with_config(SimplifyConfig {
                 injected_bug: Some(bug),
@@ -1139,6 +1211,41 @@ mod tests {
                 "fast path changed output bytes for `{src}`"
             );
         }
+    }
+
+    /// The arena routes classification, corner recovery, and signature
+    /// extraction through interned node ids, but every id-level port is
+    /// tape- and table-identical to its tree-walking twin — so turning
+    /// the arena off must not change a single output byte.
+    #[test]
+    fn arena_off_is_byte_identical() {
+        let on = Simplifier::new();
+        let off = Simplifier::with_config(SimplifyConfig {
+            use_arena: false,
+            ..SimplifyConfig::default()
+        });
+        for src in [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x^y) + 2*(x|~y) + 2",
+            "x + 2*y + (x&y) - 3*(x^y) + 4",
+            "(x & 240) + (x & ~240)",
+            "(x | 5) + (x & 5)",
+            "x*y + 2*(x&y)",
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+            "-(3*(x&y)) + 200*x",
+            "~(x - 1)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            assert_eq!(
+                on.simplify(&e).to_string(),
+                off.simplify(&e).to_string(),
+                "arena changed output bytes for `{src}`"
+            );
+        }
+        // The arena-on run actually interned something; the off run's
+        // arena stayed empty.
+        assert!(on.arena().len() > 0, "arena-on run never interned");
+        assert_eq!(off.arena().len(), 0, "arena-off run interned");
     }
 
     /// Semi-linear identities from the worked examples (arXiv

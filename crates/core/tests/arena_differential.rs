@@ -1,0 +1,189 @@
+//! Pipeline-level differential: the `use_arena` flag selects a *data
+//! representation*, never a *result*. Over seeded corpora from every
+//! `mba-gen` source — obfuscated linear/semi-linear/poly targets,
+//! free-form random ASTs, the mask-steered semi-linear distribution,
+//! and the negated-literal regression shapes — simplifying with the
+//! hash-consed arena on and off must produce byte-identical output at
+//! every supported width and worker count. This is the executable form
+//! of the arena contract in DESIGN.md §14: the id-compiled tape and the
+//! id-keyed truth tables are byte-identical to their tree-walking
+//! twins, so disagreement anywhere is an interning bug, not a style
+//! difference.
+
+use mba_expr::{BinOp, Expr, UnOp};
+use mba_gen::random::{random_expr, RandomExprConfig};
+use mba_gen::{ObfuscationKind, Obfuscator};
+use mba_solver::{Simplifier, SimplifyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTHS: [u32; 4] = [8, 16, 32, 64];
+
+fn pair(width: u32) -> (Simplifier, Simplifier) {
+    let on = Simplifier::with_config(SimplifyConfig {
+        width,
+        ..SimplifyConfig::default()
+    });
+    let off = Simplifier::with_config(SimplifyConfig {
+        width,
+        use_arena: false,
+        ..SimplifyConfig::default()
+    });
+    (on, off)
+}
+
+fn assert_identical(cases: &[Expr], label: &str) {
+    for width in WIDTHS {
+        let (on, off) = pair(width);
+        for e in cases {
+            let a = on.simplify_detailed(e).output;
+            let b = off.simplify_detailed(e).output;
+            assert_eq!(
+                a, b,
+                "{label}: width {width}: arena on/off diverge on `{e}`"
+            );
+        }
+        // The arena-on side actually used the arena for this corpus.
+        assert!(
+            on.arena().len() > 0,
+            "{label}: width {width}: arena-on run never interned"
+        );
+        assert_eq!(off.arena().len(), 0, "{label}: arena-off run interned");
+    }
+}
+
+fn obfuscated_corpus() -> Vec<Expr> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let ob = Obfuscator::new();
+    let targets: Vec<Expr> = ["x", "x + y", "x & y", "x ^ y", "2*x - y", "x + y + z"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut cases = Vec::new();
+    for kind in [
+        ObfuscationKind::Linear,
+        ObfuscationKind::SemiLinear,
+        ObfuscationKind::Polynomial,
+        ObfuscationKind::NonPolynomial,
+    ] {
+        for t in &targets {
+            for _ in 0..4 {
+                cases.push(ob.obfuscate(t, kind, &mut rng));
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn obfuscated_corpora_are_representation_independent() {
+    assert_identical(&obfuscated_corpus(), "obfuscated");
+}
+
+#[test]
+fn random_ast_corpus_is_representation_independent() {
+    let config = RandomExprConfig::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let cases: Vec<Expr> = (0..150).map(|_| random_expr(&mut rng, &config)).collect();
+    assert_identical(&cases, "random-ast");
+}
+
+#[test]
+fn negated_literal_constants_are_representation_independent() {
+    // The PR 6 negated-literal regression shapes: `-0` and `- -1`
+    // chains that `is_pure_bitwise` folds to bit-uniform constants. The
+    // arena's `skeleton_id` must admit exactly the same constants the
+    // tree skeleton admits — its `literal` metadata is the incremental
+    // form of the same fold — or the two routes see different atoms.
+    let x = || Expr::Var("x".into());
+    let factor = Expr::binary(
+        BinOp::And,
+        Expr::binary(
+            BinOp::Or,
+            Expr::binary(BinOp::Xor, Expr::Const(-1), x()),
+            Expr::unary(UnOp::Neg, Expr::Const(0)),
+        ),
+        Expr::binary(
+            BinOp::Or,
+            Expr::unary(UnOp::Not, x()),
+            Expr::binary(BinOp::And, Expr::Var("z".into()), Expr::Var("y".into())),
+        ),
+    );
+    let cases = [
+        Expr::binary(BinOp::Or, factor.clone(), Expr::Const(-4)),
+        factor,
+        Expr::binary(
+            BinOp::Xor,
+            Expr::unary(UnOp::Neg, Expr::unary(UnOp::Neg, Expr::Const(-1))),
+            x(),
+        ),
+    ];
+    assert_identical(&cases, "negated-literal");
+}
+
+#[test]
+fn mask_steered_corpus_is_representation_independent() {
+    let config = RandomExprConfig {
+        mask_const_prob: 0.5,
+        ..RandomExprConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let cases: Vec<Expr> = (0..150).map(|_| random_expr(&mut rng, &config)).collect();
+    assert_identical(&cases, "mask-steered");
+}
+
+#[test]
+fn batch_jobs_and_ref_entry_points_are_byte_identical() {
+    // The shared arena across batch workers must not leak scheduling
+    // into outputs, at either batch entry point. `simplify_batch_refs`
+    // shares interned ids across workers with no per-job deep clone;
+    // results must match the owned entry point and the sequential
+    // reference at every worker count.
+    let cases = obfuscated_corpus();
+    let reference: Vec<String> = {
+        let s = Simplifier::new();
+        cases.iter().map(|e| s.simplify(e).to_string()).collect()
+    };
+    for jobs in [0usize, 1, 64] {
+        let owned = Simplifier::new();
+        let got: Vec<String> = owned
+            .simplify_batch_with_jobs(&cases, jobs)
+            .iter()
+            .map(|r| r.output.to_string())
+            .collect();
+        assert_eq!(got, reference, "owned batch diverged at jobs={jobs}");
+
+        let by_ref = Simplifier::new();
+        let refs: Vec<&Expr> = cases.iter().collect();
+        let got: Vec<String> = by_ref
+            .simplify_batch_refs(&refs, jobs)
+            .iter()
+            .map(|r| r.output.to_string())
+            .collect();
+        assert_eq!(got, reference, "ref batch diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn arena_interning_pays_off_across_a_corpus() {
+    // Stats gate: one shared simplifier over an obfuscated corpus must
+    // actually exercise the hash-consing — repeated subtrees across
+    // cases intern to existing ids (hits), and the store stays far
+    // smaller than the corpus' total node count.
+    let s = Simplifier::new();
+    let cases = obfuscated_corpus();
+    let total_nodes: usize = cases.iter().map(Expr::node_count).sum();
+    for e in &cases {
+        s.simplify(e);
+    }
+    let stats = s.arena().stats();
+    assert!(stats.nodes > 0, "nothing interned");
+    assert!(stats.interned_hits > 0, "no structure sharing observed");
+    assert!(
+        stats.nodes < total_nodes as u64,
+        "arena stored {} nodes for a {}-node corpus — no sharing at all",
+        stats.nodes,
+        total_nodes
+    );
+    assert!(stats.bytes > 0);
+}

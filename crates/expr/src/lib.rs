@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod ast;
 pub mod classify;
 mod eval;
@@ -38,6 +39,7 @@ mod printer;
 pub mod program;
 pub mod visit;
 
+pub use arena::{ArenaStats, ExprArena, NodeId};
 pub use ast::{BinOp, Expr, Ident, OpDomain, UnOp};
 pub use classify::MbaClass;
 pub use eval::{mask, UnboundVariableError, Valuation};

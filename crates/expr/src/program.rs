@@ -32,6 +32,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::arena::{ExprArena, Node, NodeId};
 use crate::ast::{BinOp, Expr, Ident, UnOp};
 use crate::eval::{mask, UnboundVariableError, Valuation};
 
@@ -131,6 +132,55 @@ impl EvalProgram {
         debug_assert_eq!(depth, 1, "a well-formed tape leaves one result");
         TAPE_COMPILES.fetch_add(1, Ordering::Relaxed);
         program
+    }
+
+    /// Compiles an interned subtree into a tape **byte-identical** to
+    /// `EvalProgram::compile(&arena.extract(id))`: same post-order,
+    /// same name-ordered variable slots, same peak stack. Shared
+    /// subtrees in the id-DAG are duplicated into the tape exactly as
+    /// the extracted tree would duplicate them, so every downstream
+    /// consumer (truth tables, corner signatures, batch oracles) sees
+    /// identical results whichever representation compiled the tape.
+    pub fn compile_arena(arena: &ExprArena, id: NodeId) -> EvalProgram {
+        let inner = arena.read_inner();
+        let mut program = EvalProgram {
+            ops: Vec::with_capacity(inner.node_count_of(id)),
+            vars: inner.vars_of(id),
+            max_stack: 0,
+        };
+        let mut depth = 0usize;
+        program.emit_arena(&inner, id, &mut depth);
+        debug_assert_eq!(depth, 1, "a well-formed tape leaves one result");
+        TAPE_COMPILES.fetch_add(1, Ordering::Relaxed);
+        program
+    }
+
+    fn emit_arena(&mut self, inner: &crate::arena::ArenaInner, id: NodeId, depth: &mut usize) {
+        match inner.node(id) {
+            Node::Const(c) => {
+                self.ops.push(Op::Const(c));
+                *depth += 1;
+            }
+            Node::Var(i) => {
+                let slot = self
+                    .vars
+                    .binary_search(inner.ident(i))
+                    .expect("compile_arena collected every variable");
+                self.ops.push(Op::Var(slot as u32));
+                *depth += 1;
+            }
+            Node::Unary(op, a) => {
+                self.emit_arena(inner, a, depth);
+                self.ops.push(Op::Unary(op));
+            }
+            Node::Binary(op, a, b) => {
+                self.emit_arena(inner, a, depth);
+                self.emit_arena(inner, b, depth);
+                self.ops.push(Op::Binary(op));
+                *depth -= 1;
+            }
+        }
+        self.max_stack = self.max_stack.max(*depth);
     }
 
     fn emit(&mut self, e: &Expr, depth: &mut usize) {
@@ -491,6 +541,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn arena_tape_is_byte_identical_to_tree_tape() {
+        let arena = ExprArena::new();
+        for src in [
+            "x",
+            "42",
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x & y) + (x & y) * (x & y)", // shared subtree, duplicated in the tape
+            "z + (a & b) * z",
+            "~0 + 3",
+            "-(x ^ y) * 3 - ~z",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let id = arena.intern(&e);
+            let from_tree = EvalProgram::compile(&arena.extract(id));
+            let from_arena = EvalProgram::compile_arena(&arena, id);
+            assert_eq!(from_arena, from_tree, "tape divergence for `{src}`");
+        }
+    }
+
+    #[test]
+    fn compile_arena_advances_tape_counter() {
+        let arena = ExprArena::new();
+        let id = arena.intern(&"x ^ y".parse().unwrap());
+        let before = engine_stats().tape_compiles;
+        EvalProgram::compile_arena(&arena, id);
+        assert!(engine_stats().tape_compiles > before);
     }
 
     #[test]

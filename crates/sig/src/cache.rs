@@ -32,7 +32,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mba_expr::{Expr, Ident};
+use mba_expr::{Expr, ExprArena, Ident, NodeId};
 use mba_linalg::{Matrix, Rational};
 use parking_lot::RwLock;
 
@@ -141,6 +141,22 @@ struct TableKey {
     vars: Vec<Ident>,
 }
 
+/// Cache key for arena-interned truth tables: the node id plus the
+/// arena's identity and generation ([`ExprArena::uid`] /
+/// [`ExprArena::generation`]), so an id from a cleared-and-refilled or
+/// different arena can never satisfy a stale probe. Hashing is O(1) —
+/// four integers plus the variable order — instead of re-hashing a
+/// whole subtree, and hash-consing makes the id hit across
+/// *expressions*: every occurrence of `x & y` in the workload maps to
+/// one key.
+#[derive(Hash, PartialEq, Eq, Clone)]
+struct IdTableKey {
+    arena_uid: u64,
+    generation: u64,
+    id: NodeId,
+    vars: Vec<Ident>,
+}
+
 /// The shared signature-pipeline memoization layer.
 ///
 /// A `SigCache` is `Send + Sync`; wrap it in an [`Arc`] and hand clones
@@ -161,6 +177,9 @@ struct TableKey {
 /// ```
 pub struct SigCache {
     tables: ShardedMap<TableKey, Arc<TruthTable>>,
+    /// Truth tables keyed by arena node id ([`SigCache::table_of_id`]);
+    /// disjoint from `tables` so the two keyings can be compared.
+    id_tables: ShardedMap<IdTableKey, Arc<TruthTable>>,
     and_coeffs: ShardedMap<TruthTable, Arc<Vec<i128>>>,
     /// `None` records that no integer ∨-basis solution exists, so the
     /// failing solve is not repeated either.
@@ -189,6 +208,7 @@ impl SigCache {
     pub fn new() -> SigCache {
         SigCache {
             tables: ShardedMap::new(),
+            id_tables: ShardedMap::new(),
             and_coeffs: ShardedMap::new(),
             or_coeffs: ShardedMap::new(),
             hits: AtomicU64::new(0),
@@ -222,6 +242,43 @@ impl SigCache {
         self.miss();
         let table = Arc::new(TruthTable::of(e, vars)?);
         self.tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// The truth table of an arena-interned pure-bitwise subtree over
+    /// `vars`, memoized by `(arena uid, generation, id, vars)` —
+    /// [`SigCache::table_of`]'s id-keyed twin. The key never re-hashes
+    /// the subtree, and hash-consing gives cross-expression CSE: after
+    /// any expression computes the table for a shared subtree, every
+    /// later expression containing that subtree hits.
+    ///
+    /// The hit/miss accounting is identical to the expression keying —
+    /// one hit or one miss per lookup — so replaying a corpus through
+    /// either keying yields the same [`CacheStats`].
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`TruthTable::of_arena`] fails; errors are
+    /// not cached.
+    pub fn table_of_id(
+        &self,
+        arena: &ExprArena,
+        id: NodeId,
+        vars: &[Ident],
+    ) -> Result<Arc<TruthTable>, NotBitwiseError> {
+        let key = IdTableKey {
+            arena_uid: arena.uid(),
+            generation: arena.generation(),
+            id,
+            vars: vars.to_vec(),
+        };
+        if let Some(hit) = self.id_tables.get(&key) {
+            self.hit();
+            return Ok(hit);
+        }
+        self.miss();
+        let table = Arc::new(TruthTable::of_arena(arena, id, vars)?);
+        self.id_tables.insert(key, Arc::clone(&table));
         Ok(table)
     }
 
@@ -268,7 +325,7 @@ impl SigCache {
 
     /// Number of memoized entries across all three maps.
     pub fn len(&self) -> usize {
-        self.tables.len() + self.and_coeffs.len() + self.or_coeffs.len()
+        self.tables.len() + self.id_tables.len() + self.and_coeffs.len() + self.or_coeffs.len()
     }
 
     /// Whether the cache holds no entries.
@@ -283,6 +340,7 @@ impl SigCache {
         let mut totals = vec![0usize; SHARDS];
         for map_lens in [
             self.tables.shard_lens(),
+            self.id_tables.shard_lens(),
             self.and_coeffs.shard_lens(),
             self.or_coeffs.shard_lens(),
         ] {
@@ -315,11 +373,28 @@ impl SigCache {
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         self.tables.clear();
+        self.id_tables.clear();
         self.and_coeffs.clear();
         self.or_coeffs.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+}
+
+/// Mirrors an arena's [`mba_expr::ArenaStats`] into `registry` as
+/// gauges: `arena.nodes`, `arena.idents`, `arena.interned_hits`,
+/// `arena.bytes`, `arena.generation`. Same snapshot-point bridge
+/// pattern as [`publish_eval_engine_metrics`] — `mba-expr` has no
+/// `mba-obs` dependency, so the mirror lives at the signature layer.
+pub fn publish_arena_metrics(arena: &ExprArena, registry: &mba_obs::MetricsRegistry) {
+    let s = arena.stats();
+    registry.gauge("arena.nodes").set(s.nodes as i64);
+    registry.gauge("arena.idents").set(s.idents as i64);
+    registry
+        .gauge("arena.interned_hits")
+        .set(s.interned_hits as i64);
+    registry.gauge("arena.bytes").set(s.bytes as i64);
+    registry.gauge("arena.generation").set(s.generation as i64);
 }
 
 /// Mirrors the batch evaluation engine's process-global counters
@@ -439,6 +514,49 @@ mod tests {
         let second = cache.or_coefficients(&tt);
         assert_eq!(first, second);
         assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn id_keyed_tables_hit_on_repeat_and_across_expressions() {
+        let cache = SigCache::new();
+        let arena = mba_expr::ExprArena::new();
+        let e: Expr = "x & ~y".parse().unwrap();
+        let id = arena.intern(&e);
+        let t1 = cache.table_of_id(&arena, id, &vars2()).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        let t2 = cache.table_of_id(&arena, id, &vars2()).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(cache.stats().hits, 1);
+        // Cross-expression CSE: the same subtree inside a *different*
+        // expression interns to the same id, so the lookup hits without
+        // ever seeing the first expression again.
+        let wrapped: Expr = "(x & ~y) | (x & ~y)".parse().unwrap();
+        let wrapped_id = arena.intern(&wrapped);
+        let mba_expr::arena::Node::Binary(_, shared, _) = arena.node(wrapped_id) else {
+            panic!("expected a binary root");
+        };
+        assert_eq!(shared, id);
+        cache.table_of_id(&arena, shared, &vars2()).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        // The table itself is byte-identical to the expression keying's.
+        assert_eq!(*t1, *cache.table_of(&e, &vars2()).unwrap());
+    }
+
+    #[test]
+    fn id_keys_are_generation_scoped() {
+        let cache = SigCache::new();
+        let arena = mba_expr::ExprArena::new();
+        let e: Expr = "x | y".parse().unwrap();
+        let id = arena.intern(&e);
+        cache.table_of_id(&arena, id, &vars2()).unwrap();
+        arena.clear();
+        // Same numeric id, new generation: must miss, not serve the
+        // stale table.
+        let id2 = arena.intern(&e);
+        assert_eq!(id2.index(), 2); // x, y, then x|y — dense again
+        let misses_before = cache.stats().misses;
+        cache.table_of_id(&arena, id2, &vars2()).unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod table;
 mod truth;
 
 pub use basis::linear_combination;
-pub use cache::{publish_eval_engine_metrics, CacheStats, SigCache};
+pub use cache::{publish_arena_metrics, publish_eval_engine_metrics, CacheStats, SigCache};
 pub use signature::{NotLinearError, SignatureVector};
 pub use simba::{publish_simba_metrics, simba_stats, SimbaStats};
 pub use truth::{NotBitwiseError, TruthTable};

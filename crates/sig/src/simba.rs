@@ -174,12 +174,23 @@ pub fn reduce(v: i128, width: u32) -> i128 {
 /// `None` if it does not, is empty, or exceeds
 /// [`TruthTable::MAX_VARS`].
 pub fn corner_values(e: &Expr, vars: &[Ident], width: u32) -> Option<Vec<u64>> {
+    corner_values_program(&EvalProgram::compile(e), vars, width)
+}
+
+/// [`corner_values`] over an already-compiled tape. This is the entry
+/// the arena pipeline uses ([`EvalProgram::compile_arena`] produces a
+/// tape byte-identical to the tree compile, so the corner values — and
+/// everything downstream of them — are identical too).
+pub fn corner_values_program(
+    program: &EvalProgram,
+    vars: &[Ident],
+    width: u32,
+) -> Option<Vec<u64>> {
     let t = vars.len();
     if t == 0 || t > TruthTable::MAX_VARS || width == 0 || width > 64 {
         return None;
     }
     let lanes = 1usize << t;
-    let program = EvalProgram::compile(e);
     // Column for variable `j`: all-ones on exactly the lanes whose row
     // index has bit `t−1−j` set (first variable = MSB of the row
     // index). Truncation commutes with every MBA operator, so the
@@ -204,7 +215,16 @@ pub fn corner_values(e: &Expr, vars: &[Ident], width: u32) -> Option<Vec<u64>> {
 /// mod `2^w`. Equals [`crate::SignatureVector::of_linear`]'s exact
 /// components reduced mod `2^w` whenever `e` is linear over `vars`.
 pub fn corner_signature(e: &Expr, vars: &[Ident], width: u32) -> Option<Vec<i128>> {
-    let values = corner_values(e, vars, width)?;
+    corner_signature_program(&EvalProgram::compile(e), vars, width)
+}
+
+/// [`corner_signature`] over an already-compiled tape.
+pub fn corner_signature_program(
+    program: &EvalProgram,
+    vars: &[Ident],
+    width: u32,
+) -> Option<Vec<i128>> {
+    let values = corner_values_program(program, vars, width)?;
     Some(
         values
             .into_iter()
@@ -291,7 +311,19 @@ fn reconstruct(coeffs: &[i128], values: &[u64], width: u32) -> u64 {
 /// [`crate::SignatureVector::normalized_coefficients`] (index 0 is the
 /// `−1` column carrying the constant).
 pub fn recover_coefficients(e: &Expr, vars: &[Ident], width: u32) -> Option<Vec<i128>> {
-    let sig = corner_signature(e, vars, width)?;
+    recover_coefficients_program(&EvalProgram::compile(e), vars, width)
+}
+
+/// [`recover_coefficients`] over an already-compiled tape: the same
+/// corner signature, Möbius inversion, and two-probe verification, with
+/// the probes evaluated through the tape instead of a tree walk (the
+/// batch engine is pinned value-identical to `Expr::eval`).
+pub fn recover_coefficients_program(
+    program: &EvalProgram,
+    vars: &[Ident],
+    width: u32,
+) -> Option<Vec<i128>> {
+    let sig = corner_signature_program(program, vars, width)?;
     let mut coeffs = sig;
     moebius(&mut coeffs);
     for k in 0..2u64 {
@@ -303,7 +335,9 @@ pub fn recover_coefficients(e: &Expr, vars: &[Ident], width: u32) -> Option<Vec<
             .cloned()
             .zip(values.iter().copied())
             .collect();
-        let direct = e.eval(&valuation, width);
+        let direct = program
+            .eval_valuations(&[valuation], width)
+            .expect("probe valuation binds every program variable")[0];
         if reconstruct(&coeffs, &values, width) != direct {
             return None;
         }
@@ -417,6 +451,29 @@ mod tests {
         let e: Expr = "x & (x + 1) & y".parse().unwrap();
         let vars = vars_of(&e);
         assert!(recover_coefficients(&e, &vars, 64).is_none());
+    }
+
+    #[test]
+    fn arena_tape_recovery_matches_tree_recovery() {
+        let arena = mba_expr::ExprArena::new();
+        for src in [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "x + 4",
+            "200*x",
+            "x & (x + 1) & y", // non-linear: both routes must reject
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let vars = vars_of(&e);
+            let id = arena.intern(&e);
+            let program = EvalProgram::compile_arena(&arena, id);
+            for width in [8, 16, 32, 64] {
+                assert_eq!(
+                    recover_coefficients_program(&program, &vars, width),
+                    recover_coefficients(&e, &vars, width),
+                    "`{src}` at width {width}"
+                );
+            }
+        }
     }
 
     #[test]

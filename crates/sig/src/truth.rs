@@ -14,7 +14,7 @@
 use std::fmt;
 
 use mba_expr::program::row_bit_pattern;
-use mba_expr::{EvalProgram, Expr, Ident};
+use mba_expr::{EvalProgram, Expr, ExprArena, Ident, NodeId};
 
 /// Error returned when a truth table is requested for an expression that
 /// is not pure bitwise, or whose variables are not covered by the
@@ -76,9 +76,37 @@ impl TruthTable {
     /// (or duplicates).
     pub fn of(e: &Expr, vars: &[Ident]) -> Result<TruthTable, NotBitwiseError> {
         Self::validate(e, vars)?;
+        Ok(Self::of_program(&EvalProgram::compile(e), vars))
+    }
+
+    /// Computes the truth table of an arena-interned subtree — the
+    /// id-level twin of [`TruthTable::of`], byte-identical to
+    /// `TruthTable::of(&arena.extract(id), vars)` on every input.
+    /// Preconditions are checked from the arena's precomputed metadata
+    /// (O(1) purity, O(vars) variable set) and the tape is compiled
+    /// straight off the node store
+    /// ([`EvalProgram::compile_arena`]), so no `Box`-tree is
+    /// materialized on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`TruthTable::of`] fails on the extracted
+    /// tree.
+    pub fn of_arena(
+        arena: &ExprArena,
+        id: NodeId,
+        vars: &[Ident],
+    ) -> Result<TruthTable, NotBitwiseError> {
+        Self::validate_arena(arena, id, vars)?;
+        Ok(Self::of_program(&EvalProgram::compile_arena(arena, id), vars))
+    }
+
+    /// Shared table-building body of [`TruthTable::of`] and
+    /// [`TruthTable::of_arena`]: runs a validated, compiled tape over
+    /// every row block.
+    fn of_program(program: &EvalProgram, vars: &[Ident]) -> TruthTable {
         let t = vars.len();
         let rows = 1usize << t;
-        let program = EvalProgram::compile(e);
         // Row-index bit position of each *program* variable slot: the
         // first variable in `vars` is the most significant bit (the
         // module-level row convention), and the program may use any
@@ -104,10 +132,10 @@ impl TruthTable {
             // Hash read whole blocks, so mask them off.
             blocks[0] &= (1u64 << rows) - 1;
         }
-        Ok(TruthTable {
+        TruthTable {
             num_vars: t,
             blocks,
-        })
+        }
     }
 
     /// The scalar reference implementation of [`TruthTable::of`]: one
@@ -161,6 +189,43 @@ impl TruthTable {
             });
         }
         if let Some(stray) = e.vars().iter().find(|v| !vars.contains(v)) {
+            return Err(NotBitwiseError {
+                detail: format!("variable `{stray}` not in the provided order"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Arena twin of [`TruthTable::validate`]: the same checks in the
+    /// same order producing the same messages, but answered from the
+    /// arena's precomputed metadata. The `Box`-tree is only rebuilt on
+    /// the cold error path, where the message quotes the expression.
+    fn validate_arena(
+        arena: &ExprArena,
+        id: NodeId,
+        vars: &[Ident],
+    ) -> Result<(), NotBitwiseError> {
+        if vars.len() > Self::MAX_VARS {
+            return Err(NotBitwiseError {
+                detail: format!("{} variables exceed the maximum of {}", vars.len(), Self::MAX_VARS),
+            });
+        }
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(NotBitwiseError {
+                    detail: format!("duplicate variable `{v}` in order"),
+                });
+            }
+        }
+        if !arena.is_pure_bitwise(id) {
+            return Err(NotBitwiseError {
+                detail: format!(
+                    "`{}` contains arithmetic operators or non-uniform constants",
+                    arena.extract(id)
+                ),
+            });
+        }
+        if let Some(stray) = arena.vars(id).iter().find(|v| !vars.contains(v)) {
             return Err(NotBitwiseError {
                 detail: format!("variable `{stray}` not in the provided order"),
             });
@@ -370,6 +435,49 @@ mod tests {
     fn scalar_reference_rejects_what_of_rejects() {
         assert!(TruthTable::of_scalar(&"x + y".parse().unwrap(), &vars2()).is_err());
         assert!(TruthTable::of_scalar(&"x & z".parse().unwrap(), &vars2()).is_err());
+    }
+
+    #[test]
+    fn of_arena_is_byte_identical_to_of() {
+        let arena = ExprArena::new();
+        let vars: Vec<Ident> = (0..7).map(|i| Ident::new(format!("v{i}"))).collect();
+        for src in [
+            "v0",
+            "~v0",
+            "v0 & v1",
+            "(v0 ^ v1) | ~(v2 & v3)",
+            "((v0 | v1) & (v2 | v3)) ^ (v4 & ~v5)",
+            "(v0 & -1) | (v1 & 0)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let id = arena.intern(&e);
+            for t in [1, 2, 4, 7] {
+                if e.vars().len() > t {
+                    continue;
+                }
+                let order = &vars[..t];
+                assert_eq!(
+                    TruthTable::of_arena(&arena, id, order).unwrap(),
+                    TruthTable::of(&e, order).unwrap(),
+                    "{src} over {t} vars"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn of_arena_rejects_what_of_rejects() {
+        let arena = ExprArena::new();
+        for src in ["x + y", "x & 3", "x & z"] {
+            let e: Expr = src.parse().unwrap();
+            let id = arena.intern(&e);
+            let tree = TruthTable::of(&e, &vars2()).unwrap_err();
+            let from_arena = TruthTable::of_arena(&arena, id, &vars2()).unwrap_err();
+            assert_eq!(from_arena, tree, "error divergence for `{src}`");
+        }
+        let dup = [Ident::new("x"), Ident::new("x")];
+        let id = arena.intern(&"x".parse().unwrap());
+        assert!(TruthTable::of_arena(&arena, id, &dup).is_err());
     }
 
     #[test]

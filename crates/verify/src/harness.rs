@@ -3,12 +3,12 @@
 //! Each iteration generates one case (a pure function of
 //! `(seed, index)`), runs it through the simplifier's entry points —
 //! the shared cache-on path, a cache-off path, the batch path, and
-//! (when no bug is injected) a fast-path-off path — and then
-//! interrogates the results:
+//! (when no bug is injected) a fast-path-off path and an arena-off
+//! path — and then interrogates the results:
 //!
 //! * all outputs must be **byte-identical** (the PR-1 invariant:
-//!   caching, scheduling, and the simba fast path are not allowed to
-//!   change results),
+//!   caching, scheduling, the simba fast path, and the hash-consed
+//!   arena are not allowed to change results),
 //! * the output must be **equivalent to the input** per the tiered
 //!   [`EquivalenceOracle`],
 //! * for obfuscator cases the output must also agree with the known
@@ -49,6 +49,9 @@ pub enum SimplifyPath {
     /// Configuration with `use_simba: false` — the truth-table route,
     /// pinning the fast path's byte-identity contract.
     NoSimba,
+    /// Configuration with `use_arena: false` — the tree-walking route,
+    /// pinning the hash-consed arena's byte-identity contract.
+    NoArena,
 }
 
 impl std::fmt::Display for SimplifyPath {
@@ -58,6 +61,7 @@ impl std::fmt::Display for SimplifyPath {
             SimplifyPath::Uncached => "uncached",
             SimplifyPath::Batch => "batch",
             SimplifyPath::NoSimba => "nosimba",
+            SimplifyPath::NoArena => "noarena",
         })
     }
 }
@@ -204,6 +208,7 @@ pub struct Fuzzer {
     cached: Simplifier,
     uncached: Simplifier,
     nosimba: Simplifier,
+    noarena: Simplifier,
 }
 
 /// Salt separating the oracle's RNG stream from the generator's, so
@@ -242,6 +247,15 @@ impl Fuzzer {
             Arc::new(SigCache::new()),
             Arc::clone(&obs),
         );
+        let noarena = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_arena: false,
+                use_cache: true,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
         let oracle = EquivalenceOracle::new(config.oracle.clone());
         Fuzzer {
             config,
@@ -249,6 +263,7 @@ impl Fuzzer {
             cached,
             uncached,
             nosimba,
+            noarena,
         }
     }
 
@@ -327,10 +342,13 @@ impl Fuzzer {
         let cases: Vec<FuzzCase> = (start..end)
             .map(|i| generate_case(self.config.seed, i, &self.config.case))
             .collect();
-        let exprs: Vec<Expr> = cases.iter().map(|c| c.expr.clone()).collect();
+        // Borrowed job setup: the batch entry point takes `&[&Expr]`, so
+        // no deep clone of the chunk's expressions is paid just to
+        // assemble the job list.
+        let exprs: Vec<&Expr> = cases.iter().map(|c| &c.expr).collect();
 
         // The batch path doubles as the worker pool under test.
-        let batch_results = self.cached.simplify_batch_with_jobs(&exprs, jobs);
+        let batch_results = self.cached.simplify_batch_refs(&exprs, jobs);
 
         // Per-case verification over the same work-stealing shape.
         let next = AtomicUsize::new(0);
@@ -407,6 +425,17 @@ impl Fuzzer {
                     right: SimplifyPath::NoSimba,
                 },
             ))
+        } else if self.check_noarena()
+            && cached_out != self.noarena.simplify_detailed(&case.expr).output
+        {
+            Some((
+                case.clone(),
+                cached_out.clone(),
+                DiscrepancyKind::PathDivergence {
+                    left: SimplifyPath::Cached,
+                    right: SimplifyPath::NoArena,
+                },
+            ))
         } else {
             match self.oracle.check(&case.expr, &cached_out, &mut rng, stats) {
                 Verdict::Mismatch(m) => Some((
@@ -457,6 +486,14 @@ impl Fuzzer {
         self.config.simplify.injected_bug.is_none() && self.config.simplify.use_simba
     }
 
+    /// Whether the arena-off comparison runs. Same reasoning as
+    /// [`Fuzzer::check_nosimba`]: `ArenaStaleId` corrupts only the
+    /// arena route by design, and the oracle — not the differential
+    /// layer — must attribute it as unsoundness.
+    fn check_noarena(&self) -> bool {
+        self.config.simplify.injected_bug.is_none() && self.config.simplify.use_arena
+    }
+
     /// Per-case oracle RNG, decorrelated from the generator stream.
     fn oracle_rng(&self, index: u64) -> StdRng {
         case_rng(self.config.seed ^ ORACLE_SALT, index)
@@ -485,6 +522,7 @@ impl Fuzzer {
                 let uncached = &self.uncached;
                 let simplify = self.config.simplify.clone();
                 let with_nosimba = self.check_nosimba();
+                let with_noarena = self.check_noarena();
                 Box::new(move |e: &Expr| {
                     // Fresh cache-on instance per probe so stale cache
                     // state cannot mask (or fake) the divergence.
@@ -501,13 +539,23 @@ impl Fuzzer {
                     if a != b || a != c {
                         return true;
                     }
-                    with_nosimba && {
+                    if with_nosimba {
                         let nosimba = Simplifier::with_config(SimplifyConfig {
                             use_simba: false,
                             use_cache: true,
                             ..simplify.clone()
                         });
-                        nosimba.simplify_detailed(e).output != a
+                        if nosimba.simplify_detailed(e).output != a {
+                            return true;
+                        }
+                    }
+                    with_noarena && {
+                        let noarena = Simplifier::with_config(SimplifyConfig {
+                            use_arena: false,
+                            use_cache: true,
+                            ..simplify.clone()
+                        });
+                        noarena.simplify_detailed(e).output != a
                     }
                 })
             }
