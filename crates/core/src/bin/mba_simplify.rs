@@ -1,14 +1,15 @@
 //! `mba-simplify`: command-line MBA simplification.
 //!
 //! Reads MBA expressions (arguments, or stdin one per line) and prints
-//! the simplified form. With `--verbose`, also prints the category and
-//! the alternation reduction.
+//! the simplified form. With `--verbose`, also prints the category, the
+//! alternation reduction, and the tier that produced the result
+//! (`linear`, `semi-linear`, `poly`, `synthesis`, or `unchanged`).
 //!
 //! ```text
 //! $ mba_simplify '2*(x|y) - (~x&y) - (x&~y)'
 //! x+y
 //! $ echo '(x&~y)*(~x&y) + (x&y)*(x|y)' | mba_simplify --verbose
-//! x*y    [poly, alternation 2 -> 0, 1 rounds]
+//! x*y    [poly, alternation 2 -> 0, 1 rounds, tier poly]
 //! ```
 
 use std::io::{BufRead, Write as _};
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut jobs: Option<usize> = None;
     let mut use_cache = true;
+    let mut use_synthesis = true;
     let mut inputs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,11 +39,15 @@ fn main() -> ExitCode {
                 }
             }
             "--no-cache" => use_cache = false,
+            "--no-synthesis" => use_synthesis = false,
             "--help" | "-h" => {
-                eprintln!("usage: mba_simplify [--verbose] [--jobs N] [--no-cache] [EXPR ...]");
+                eprintln!(
+                    "usage: mba_simplify [--verbose] [--jobs N] [--no-cache] [--no-synthesis] [EXPR ...]"
+                );
                 eprintln!("reads expressions from stdin when no EXPR is given");
-                eprintln!("  --jobs N     simplify inputs on N parallel workers");
-                eprintln!("  --no-cache   disable the lookup table and signature cache");
+                eprintln!("  --jobs N         simplify inputs on N parallel workers");
+                eprintln!("  --no-cache       disable the lookup table and signature cache");
+                eprintln!("  --no-synthesis   disable the enumerative synthesis tier");
                 return ExitCode::SUCCESS;
             }
             other => inputs.push(other.to_string()),
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
 
     let simplifier = Simplifier::with_config(SimplifyConfig {
         use_cache,
+        use_synthesis,
         ..SimplifyConfig::default()
     });
     // Parse everything first (reporting failures as they appear), then
@@ -90,12 +97,13 @@ fn main() -> ExitCode {
         if verbose {
             let _ = writeln!(
                 out,
-                "{}    [{}, alternation {} -> {}, {} rounds]",
+                "{}    [{}, alternation {} -> {}, {} rounds, tier {}]",
                 d.output,
                 d.input_metrics.class,
                 d.input_metrics.alternation,
                 d.output_metrics.alternation,
-                d.rounds
+                d.rounds,
+                d.tier
             );
         } else {
             let _ = writeln!(out, "{}", d.output);

@@ -49,5 +49,5 @@ mod simplifier;
 pub use mba_sig::CacheStats;
 pub use poly::Poly;
 pub use simplifier::{
-    Basis, InjectedBug, Simplified, Simplifier, SimplifyConfig, SimplifyResult,
+    Basis, InjectedBug, Simplified, Simplifier, SimplifyConfig, SimplifyResult, SimplifyTier,
 };

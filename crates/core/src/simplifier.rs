@@ -28,7 +28,11 @@ use crate::pipeline::Pipeline;
 ///   and the semi-linear group-mask tier (fires inside `poly_reduce`,
 ///   like the signature/basis spans it replaces on a hit);
 /// * `core.stage.rewrite.micros` — the structural peephole pass;
-/// * `core.stage.final_fold.micros` — the §4.5 final-step bitwise fold.
+/// * `core.stage.final_fold.micros` — the §4.5 final-step bitwise fold;
+/// * `core.stage.synth.micros` — the enumerative synthesis tier (fires
+///   once per result whose final form is still polynomial or
+///   non-polynomial, covering pool lookup plus the first-use pool
+///   build).
 ///
 /// Counters under `core.result.*` are pure functions of the simplified
 /// results (and, for `core.result.class.*`, of the *inputs*), so they
@@ -42,6 +46,7 @@ pub(crate) struct StageMetrics {
     poly_reduce: Arc<Histogram>,
     rewrite: Arc<Histogram>,
     final_fold: Arc<Histogram>,
+    synth: Arc<Histogram>,
     result_exprs: Arc<Counter>,
     result_rounds: Arc<Counter>,
     result_bailouts: Arc<Counter>,
@@ -61,6 +66,7 @@ impl StageMetrics {
             poly_reduce: registry.histogram("core.stage.poly_reduce.micros"),
             rewrite: registry.histogram("core.stage.rewrite.micros"),
             final_fold: registry.histogram("core.stage.final_fold.micros"),
+            synth: registry.histogram("core.stage.synth.micros"),
             result_exprs: registry.counter("core.result.exprs"),
             result_rounds: registry.counter("core.result.rounds"),
             result_bailouts: registry.counter("core.result.bailouts"),
@@ -135,6 +141,16 @@ pub enum InjectedBug {
     /// so it only fires when [`SimplifyConfig::use_arena`] is set, and
     /// the arena-off differential path is immune by construction.
     ArenaStaleId,
+    /// Makes the synthesis tier accept its candidate **without any
+    /// probe check**: the first enumerated expression whose *width-1
+    /// truth table* matches the target's is substituted outright —
+    /// exactly the unsound shortcut a signature-only matcher would
+    /// take. Since `x^y` and `x+y` share a width-1 table (and `^` is
+    /// enumerated first), an obfuscated addition demonstrably comes
+    /// back as an xor. Fires only when [`SimplifyConfig::use_synthesis`]
+    /// is set and the synthesis tier is reached; the probe re-verify it
+    /// skips is the tier's whole soundness argument.
+    SynthUnsoundAccept,
 }
 
 /// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
@@ -170,6 +186,24 @@ pub struct SimplifyConfig {
     /// byte-identical either way (`tests/arena_differential.rs` holds
     /// this pinned).
     pub use_arena: bool,
+    /// Enable the enumerative synthesis tier (`mba-synth`): results the
+    /// algebraic pipeline leaves polynomial or non-polynomial are
+    /// looked up in a signature-deduplicated pool of small candidate
+    /// expressions, and a strictly simpler equivalent replaces the
+    /// result only after its complete width-1 truth table *and*
+    /// deterministic probe valuations at the request width agree. A
+    /// rejection is never result-changing, so outputs with the tier off
+    /// are byte-identical whenever the tier rejects
+    /// (`tests/synth_differential.rs` holds this pinned).
+    pub use_synthesis: bool,
+    /// Largest candidate node count the synthesis tier enumerates.
+    pub synth_max_nodes: usize,
+    /// Synthesis enumeration cap (per variable-set pool, checked per
+    /// candidate so truncation is deterministic).
+    pub synth_max_candidates: u64,
+    /// Wall-clock budget for one synthesis pool build, in milliseconds
+    /// (checked between node-count levels only).
+    pub synth_budget_ms: u64,
     /// Normalized basis selection (§7).
     pub basis: Basis,
     /// Testing-only fault injection for the verification subsystem; see
@@ -187,6 +221,10 @@ impl Default for SimplifyConfig {
             use_cache: true,
             use_simba: true,
             use_arena: true,
+            use_synthesis: true,
+            synth_max_nodes: 5,
+            synth_max_candidates: 20_000,
+            synth_budget_ms: 1000,
             basis: Basis::And,
             injected_bug: None,
         }
@@ -196,6 +234,40 @@ impl Default for SimplifyConfig {
 /// Alias for [`Simplified`] under the batch API's name:
 /// [`Simplifier::simplify_batch`] returns `Vec<SimplifyResult>`.
 pub type SimplifyResult = Simplified;
+
+/// Which tier of the pipeline claimed a result (reported per result in
+/// the CLI's verbose output and the serving layer's diagnostics).
+///
+/// The tag is derived deterministically: a synthesis acceptance wins
+/// outright; an output byte-identical to the input is `Unchanged`;
+/// otherwise the *input's* classification names the algebraic tier that
+/// handled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplifyTier {
+    /// The linear pipeline (truth-table/basis solve or the SiMBA corner
+    /// fast path).
+    Linear,
+    /// The semi-linear group-mask tier.
+    SemiLinear,
+    /// The polynomial/non-polynomial reduction pipeline.
+    Poly,
+    /// The enumerative synthesis tier substituted a verified candidate.
+    Synthesis,
+    /// No tier improved the input; the output is the input.
+    Unchanged,
+}
+
+impl std::fmt::Display for SimplifyTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimplifyTier::Linear => "linear",
+            SimplifyTier::SemiLinear => "semi-linear",
+            SimplifyTier::Poly => "poly",
+            SimplifyTier::Synthesis => "synthesis",
+            SimplifyTier::Unchanged => "unchanged",
+        })
+    }
+}
 
 /// The result of [`Simplifier::simplify_detailed`].
 #[derive(Debug, Clone)]
@@ -211,6 +283,8 @@ pub struct Simplified {
     pub input_metrics: Metrics,
     /// Metrics of the output.
     pub output_metrics: Metrics,
+    /// Which tier claimed the result.
+    pub tier: SimplifyTier,
 }
 
 /// The MBA-Solver simplifier (Algorithm 1).
@@ -244,6 +318,11 @@ pub struct Simplifier {
     /// corpus — the cross-expression CSE the id-keyed signature cache
     /// exploits.
     arena: Arc<ExprArena>,
+    /// The enumerative synthesis engine, consulted when
+    /// [`SimplifyConfig::use_synthesis`] is set. Shared across batch
+    /// workers and adaptive sub-solvers so candidate pools are built
+    /// once per variable set for the whole corpus.
+    synth: Arc<mba_synth::Synthesizer>,
     /// Per-stage telemetry registry, shareable via
     /// [`Simplifier::with_metrics`] (the serving layer hands every
     /// simplifier its process-wide registry).
@@ -329,16 +408,24 @@ impl Simplifier {
         sig_cache: Arc<SigCache>,
         obs: Arc<MetricsRegistry>,
     ) -> Simplifier {
-        Simplifier::with_parts(config, sig_cache, Arc::new(ExprArena::new()), obs)
+        let synth = Arc::new(mba_synth::Synthesizer::new(mba_synth::SynthConfig {
+            width: config.width,
+            max_nodes: config.synth_max_nodes,
+            max_candidates: config.synth_max_candidates,
+            budget_ms: config.synth_budget_ms,
+        }));
+        Simplifier::with_parts(config, sig_cache, Arc::new(ExprArena::new()), synth, obs)
     }
 
     /// The fully-explicit constructor: every shared component handed in.
     /// Internal — adaptive sub-solvers use it to share their parent's
-    /// arena alongside its signature cache and registry.
+    /// arena and synthesis pools alongside its signature cache and
+    /// registry.
     fn with_parts(
         config: SimplifyConfig,
         sig_cache: Arc<SigCache>,
         arena: Arc<ExprArena>,
+        synth: Arc<mba_synth::Synthesizer>,
         obs: Arc<MetricsRegistry>,
     ) -> Simplifier {
         let stages = StageMetrics::resolve(&obs);
@@ -350,6 +437,7 @@ impl Simplifier {
             cache_misses: AtomicU64::new(0),
             sig_cache,
             arena,
+            synth,
             obs,
             stages,
         }
@@ -395,6 +483,7 @@ impl Simplifier {
         if self.config.basis == Basis::Adaptive {
             return self.simplify_adaptive(e);
         }
+        let input_class = e.mba_class();
         let mut current = e.clone();
         let mut rounds = 0;
         let mut bailed = false;
@@ -410,15 +499,38 @@ impl Simplifier {
         if self.config.final_step {
             current = self.final_step(&current);
         }
+        // The synthesis tier runs last, on the algebraic pipeline's
+        // residue: only results still classified polynomial or
+        // non-polynomial are eligible, and a rejection keeps `current`
+        // untouched (the tier is sound by construction — see
+        // `mba-synth`'s crate docs).
+        let mut synthesized = false;
+        if self.config.use_synthesis {
+            if let Some(better) = self.synthesis_step(&current) {
+                current = better;
+                synthesized = true;
+            }
+        }
         if let Some(bug) = self.config.injected_bug {
             current = apply_injected_bug(bug, &current);
         }
+        let tier = if synthesized {
+            SimplifyTier::Synthesis
+        } else if current == *e {
+            SimplifyTier::Unchanged
+        } else {
+            match input_class {
+                MbaClass::Linear => SimplifyTier::Linear,
+                MbaClass::SemiLinear => SimplifyTier::SemiLinear,
+                MbaClass::Polynomial | MbaClass::NonPolynomial => SimplifyTier::Poly,
+            }
+        };
         // `core.result.*` counters are derived from the result alone —
         // the batch API guarantees results are byte-identical across
         // worker counts, so these counters inherit that determinism.
         // The per-class counters key on the *input* classification,
         // also a pure function of the case stream.
-        self.stages.count_class(e.mba_class());
+        self.stages.count_class(input_class);
         self.stages.result_exprs.inc();
         self.stages.result_rounds.add(rounds as u64);
         if bailed {
@@ -431,6 +543,29 @@ impl Simplifier {
             input_metrics: Metrics::of(e),
             output_metrics: Metrics::of(&current),
             output: current,
+            tier,
+        }
+    }
+
+    /// One synthesis query against the pipeline's final form. Gated on
+    /// the result still being polynomial/non-polynomial (anything the
+    /// algebraic tiers classify is theirs); variable-count and
+    /// node-count gates live inside the engine. Under the
+    /// [`InjectedBug::SynthUnsoundAccept`] fault injection the probe
+    /// checks are skipped — the corruption the verify harness must
+    /// catch.
+    fn synthesis_step(&self, e: &Expr) -> Option<Expr> {
+        if !matches!(
+            e.mba_class(),
+            MbaClass::Polynomial | MbaClass::NonPolynomial
+        ) {
+            return None;
+        }
+        let _t = self.stages.synth.time();
+        if self.config.injected_bug == Some(InjectedBug::SynthUnsoundAccept) {
+            self.synth.synthesize_unchecked(e)
+        } else {
+            self.synth.synthesize(e)
         }
     }
 
@@ -524,6 +659,7 @@ impl Simplifier {
             },
             Arc::clone(&self.sig_cache),
             Arc::clone(&self.arena),
+            Arc::clone(&self.synth),
             Arc::clone(&self.obs),
         );
         let or_solver = Simplifier::with_parts(
@@ -533,6 +669,7 @@ impl Simplifier {
             },
             Arc::clone(&self.sig_cache),
             Arc::clone(&self.arena),
+            Arc::clone(&self.synth),
             Arc::clone(&self.obs),
         );
         let and_result = and_solver.simplify_detailed(e);
@@ -748,6 +885,10 @@ fn apply_injected_bug(bug: InjectedBug, e: &Expr) -> Expr {
         // first child's, modelling a stale intern-table entry. Nothing
         // to do at the output level.
         InjectedBug::ArenaStaleId => e.clone(),
+        // Applied inside the synthesis tier (`synthesis_step` routes to
+        // `synthesize_unchecked`, which accepts on the width-1 table
+        // alone). Nothing to do at the output level.
+        InjectedBug::SynthUnsoundAccept => e.clone(),
     }
 }
 
@@ -1000,6 +1141,7 @@ mod tests {
             "core.stage.poly_reduce.micros",
             "core.stage.rewrite.micros",
             "core.stage.final_fold.micros",
+            "core.stage.synth.micros",
         ] {
             let h = snap.histogram(stage).unwrap_or_else(|| {
                 panic!("{stage} never recorded")
@@ -1162,6 +1304,10 @@ mod tests {
             // inside the arena-keyed fast path, so `x + y` collapses to
             // `x` (6 ≠ 3 at the probe valuation below).
             (InjectedBug::ArenaStaleId, "x + y"),
+            // SynthUnsoundAccept skips the synthesis tier's probe
+            // checks, so this parity-obfuscated addition comes back as
+            // the width-1 collision `x^y` (0 ≠ 6 at x=y=3).
+            (InjectedBug::SynthUnsoundAccept, "x + y + ((x*(x+1)) & 1)"),
         ] {
             let broken = Simplifier::with_config(SimplifyConfig {
                 injected_bug: Some(bug),
@@ -1298,6 +1444,123 @@ mod tests {
                     assert_eq!(e.eval(&v, w), d.output.eval(&v, w), "`{src}` at width {w}");
                 }
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The enumerative synthesis tier.
+    // ------------------------------------------------------------------
+
+    /// The flagship residual family: a parity opaque zero
+    /// `(q*(q+1)) & 1 ≡ 0` needs mod-2 reasoning the algebraic tiers
+    /// lack, so the pipeline leaves it standing — and the synthesis
+    /// tier recovers the ground truth behind it.
+    #[test]
+    fn synthesis_recovers_parity_obfuscated_ground_truth() {
+        let s = Simplifier::new();
+        for (src, want) in [
+            ("x + y + ((x*(x+1)) & 1)", "x+y"),
+            ("(x & y) ^ (((x+y)*(x+y+1)) & 1)", "x&y"),
+            ("x - y + ((y*(y+1)) & 1)", "x-y"),
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let d = s.simplify_detailed(&e);
+            assert_eq!(d.output.to_string(), want, "simplifying `{src}`");
+            assert_eq!(d.tier, SimplifyTier::Synthesis, "`{src}`");
+            // The substitution is an identity at every width.
+            for (x, y) in [(0u64, 0u64), (3, 5), (u64::MAX, 77), (0x1234, 42)] {
+                let v = Valuation::new().with("x", x).with("y", y);
+                for w in [1u32, 8, 32, 64] {
+                    assert_eq!(e.eval(&v, w), d.output.eval(&v, w), "`{src}` width {w}");
+                }
+            }
+        }
+    }
+
+    /// When the synthesis tier rejects (no strictly smaller verified
+    /// equivalent), outputs with the tier off must be byte-identical —
+    /// the tier is never result-changing on rejection.
+    #[test]
+    fn synthesis_off_is_byte_identical_when_rejecting() {
+        let on = Simplifier::new();
+        let off = Simplifier::with_config(SimplifyConfig {
+            use_synthesis: false,
+            ..SimplifyConfig::default()
+        });
+        for src in [
+            "x*y + 2*(x&y)",
+            "(x&y)*(x|y)",
+            "x*y*z",
+            "(x-y)|((z*z)^~x)",
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x | 5) + (x & 5)",
+            "~(x - 1)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let a = on.simplify_detailed(&e);
+            let b = off.simplify_detailed(&e);
+            assert_ne!(a.tier, SimplifyTier::Synthesis, "`{src}` unexpectedly accepted");
+            assert_eq!(
+                a.output.to_string(),
+                b.output.to_string(),
+                "synthesis changed output bytes for `{src}` despite rejecting"
+            );
+        }
+    }
+
+    /// Tier tags are derived deterministically from who claimed the
+    /// result.
+    #[test]
+    fn tier_tags_name_the_claiming_tier() {
+        let s = Simplifier::new();
+        for (src, want) in [
+            ("2*(x|y) - (~x&y) - (x&~y)", SimplifyTier::Linear),
+            ("(x | 5) + (x & 5)", SimplifyTier::SemiLinear),
+            ("(x&~y)*(~x&y) + (x&y)*(x|y)", SimplifyTier::Poly),
+            ("x + y + ((x*(x+1)) & 1)", SimplifyTier::Synthesis),
+            ("x*y", SimplifyTier::Unchanged),
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let d = s.simplify_detailed(&e);
+            assert_eq!(d.tier, want, "`{src}` -> `{}`", d.output);
+        }
+        assert_eq!(SimplifyTier::SemiLinear.to_string(), "semi-linear");
+        assert_eq!(SimplifyTier::Synthesis.to_string(), "synthesis");
+    }
+
+    /// Batch workers share one synthesis engine; outputs (and tiers)
+    /// stay byte-identical at any worker count even when the tier
+    /// fires.
+    #[test]
+    fn synthesis_batch_jobs_are_byte_identical() {
+        let exprs: Vec<Expr> = [
+            "x + y + ((x*(x+1)) & 1)",
+            "x*y + 2*(x&y)",
+            "(x & y) ^ (((x+y)*(x+y+1)) & 1)",
+            "x - y + ((y*(y+1)) & 1)",
+            "(x&y)*(x|y)",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let reference: Vec<(String, SimplifyTier)> = {
+            let s = Simplifier::new();
+            exprs
+                .iter()
+                .map(|e| {
+                    let d = s.simplify_detailed(e);
+                    (d.output.to_string(), d.tier)
+                })
+                .collect()
+        };
+        for jobs in [0usize, 1, 64] {
+            let s = Simplifier::new();
+            let got: Vec<(String, SimplifyTier)> = s
+                .simplify_batch_with_jobs(&exprs, jobs)
+                .iter()
+                .map(|r| (r.output.to_string(), r.tier))
+                .collect();
+            assert_eq!(got, reference, "jobs={jobs} diverged");
         }
     }
 

@@ -28,6 +28,35 @@ fn verbose_reports_category_and_alternation() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("x*y"), "got: {text}");
     assert!(text.contains("[poly, alternation 2 -> 0"), "got: {text}");
+    assert!(text.contains("tier poly]"), "got: {text}");
+}
+
+#[test]
+fn synthesis_tier_is_tagged_and_gated_by_flag() {
+    // A parity opaque zero the algebraic pipeline cannot cancel: the
+    // synthesis tier recovers `x+y` and tags the result.
+    let residual = "x + y + ((x*(x+1)) & 1)";
+    let out = bin()
+        .arg("--verbose")
+        .arg(residual)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("x+y"), "got: {text}");
+    assert!(text.contains("tier synthesis]"), "got: {text}");
+
+    // With the tier disabled the wrapper survives and the tag says so.
+    let out = bin()
+        .arg("--verbose")
+        .arg("--no-synthesis")
+        .arg(residual)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.starts_with("x+y "), "got: {text}");
+    assert!(!text.contains("tier synthesis]"), "got: {text}");
 }
 
 #[test]
@@ -74,6 +103,10 @@ fn help_flag_succeeds() {
     assert!(
         help.contains("--no-cache"),
         "help must document --no-cache: {help}"
+    );
+    assert!(
+        help.contains("--no-synthesis"),
+        "help must document --no-synthesis: {help}"
     );
 }
 

@@ -45,4 +45,4 @@ pub use classify::MbaClass;
 pub use eval::{mask, UnboundVariableError, Valuation};
 pub use metrics::Metrics;
 pub use parser::{parse, ParseExprError};
-pub use program::{engine_stats, EngineStats, EvalProgram};
+pub use program::{engine_stats, row_bit_pattern, EngineStats, EvalProgram, WIDE_LANES};

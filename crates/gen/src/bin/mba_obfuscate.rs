@@ -3,22 +3,34 @@
 //! ```text
 //! $ mba_obfuscate --kind linear --seed 7 'x + y'
 //! (x^y)+...      # an equivalent linear MBA
+//! $ mba_obfuscate --profile residual --count 50 --seed 7
+//! residual\tx + y\t...   # corpus text: kind, ground truth, obfuscation
 //! ```
+//!
+//! `--profile residual` emits a residual corpus (parity-opaque-zero
+//! wrappers the algebraic pipeline cannot cancel) in the
+//! `mba_gen::Corpus::to_text` tab-separated format, for feeding the
+//! synthesis tier end to end.
 
 use std::process::ExitCode;
 
 use mba_expr::Expr;
-use mba_gen::{ObfuscationKind, Obfuscator};
+use mba_gen::{Corpus, CorpusConfig, ObfuscationKind, Obfuscator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() {
-    eprintln!("usage: mba_obfuscate [--kind linear|poly|non-poly] [--seed N] EXPR");
+    eprintln!(
+        "usage: mba_obfuscate [--kind linear|poly|non-poly|residual] [--seed N] EXPR\n\
+                mba_obfuscate --profile residual [--count N] [--seed N]"
+    );
 }
 
 fn main() -> ExitCode {
     let mut kind = ObfuscationKind::Linear;
     let mut seed = 0u64;
+    let mut profile: Option<String> = None;
+    let mut count = 100usize;
     let mut expr_text: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -33,8 +45,29 @@ fn main() -> ExitCode {
                     "linear" => ObfuscationKind::Linear,
                     "poly" => ObfuscationKind::Polynomial,
                     "non-poly" | "nonpoly" => ObfuscationKind::NonPolynomial,
+                    "residual" => ObfuscationKind::Residual,
                     other => {
                         eprintln!("mba_obfuscate: unknown kind `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--profile" => {
+                let Some(value) = args.next() else {
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                profile = Some(value);
+            }
+            "--count" => {
+                let Some(value) = args.next() else {
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                count = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("mba_obfuscate: malformed count `{value}`");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -58,6 +91,19 @@ fn main() -> ExitCode {
             }
             other => expr_text = Some(other.to_string()),
         }
+    }
+
+    if let Some(profile) = profile {
+        if profile != "residual" {
+            eprintln!("mba_obfuscate: unknown profile `{profile}`");
+            return ExitCode::FAILURE;
+        }
+        let corpus = Corpus::generate_residual(&CorpusConfig {
+            seed,
+            per_category: count,
+        });
+        print!("{}", corpus.to_text());
+        return ExitCode::SUCCESS;
     }
 
     let Some(text) = expr_text else {

@@ -109,6 +109,21 @@ const POLY_TARGETS: &[&str] = &[
     "2*x*y - z",
 ];
 
+/// Ground truths for the residual profile: small enough (≤ 5 nodes,
+/// ≤ 3 variables) that an enumerative synthesis tier with a modest
+/// node budget can re-discover them once the algebraic pipeline gives
+/// up on the parity-wrapped obfuscation.
+const RESIDUAL_TARGETS: &[&str] = &[
+    "x + y",
+    "x - y",
+    "x ^ y",
+    "x & y",
+    "x | y",
+    "2*x",
+    "x + 1",
+    "x + y + z",
+];
+
 impl Corpus {
     /// Generates the corpus for `config`. Complexity knobs are drawn per
     /// sample to reproduce the spread of Table 1 (terms, alternation,
@@ -139,6 +154,30 @@ impl Corpus {
         Corpus { samples }
     }
 
+    /// Generates the residual-profile corpus (`--profile residual`):
+    /// `per_category` samples whose ground truths are small expressions
+    /// wrapped in parity opaque zeros so `classify()` lands outside
+    /// `Linear`/`SemiLinear` and the algebraic pipeline leaves them for
+    /// the enumerative synthesis tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated sample fails its randomized verification.
+    pub fn generate_residual(config: &CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut samples = Vec::with_capacity(config.per_category);
+        for i in 0..config.per_category {
+            let sample =
+                Self::generate_one(samples.len(), ObfuscationKind::Residual, i, &mut rng);
+            assert!(
+                sample.verify(&mut rng, 6),
+                "generated residual sample failed verification: {sample}"
+            );
+            samples.push(sample);
+        }
+        Corpus { samples }
+    }
+
     fn generate_one(
         id: usize,
         kind: ObfuscationKind,
@@ -147,6 +186,7 @@ impl Corpus {
     ) -> Sample {
         let pool: &[&str] = match kind {
             ObfuscationKind::Polynomial => POLY_TARGETS,
+            ObfuscationKind::Residual => RESIDUAL_TARGETS,
             _ => LINEAR_TARGETS,
         };
         let ground_truth: Expr = pool[index % pool.len()].parse().expect("pool parses");
@@ -171,16 +211,30 @@ impl Corpus {
                 rewrite_rounds: rng.gen_range(1..=4),
                 ..ObfuscatorConfig::default()
             },
+            // The residual wrapper ignores the complexity knobs; its
+            // whole point is to stay small.
+            ObfuscationKind::Residual => ObfuscatorConfig::default(),
         };
         let obfuscator = Obfuscator::with_config(config);
         let obfuscated = obfuscator.obfuscate(&ground_truth, kind, rng);
         // Record the class the output actually landed in (the obfuscator
-        // may upgrade, e.g. a poly request whose junk vanished).
-        let kind = match obfuscated.mba_class() {
-            mba_expr::MbaClass::Linear => ObfuscationKind::Linear,
-            mba_expr::MbaClass::SemiLinear => ObfuscationKind::SemiLinear,
-            mba_expr::MbaClass::Polynomial => ObfuscationKind::Polynomial,
-            mba_expr::MbaClass::NonPolynomial => ObfuscationKind::NonPolynomial,
+        // may upgrade, e.g. a poly request whose junk vanished). The
+        // residual profile keeps its label: `mba_class()` has no
+        // "residual" answer, and the label is what `by_kind` filters on.
+        let kind = if kind == ObfuscationKind::Residual {
+            debug_assert_eq!(
+                obfuscated.mba_class(),
+                mba_expr::MbaClass::NonPolynomial,
+                "residual wrapper must land outside Linear/SemiLinear: {obfuscated}"
+            );
+            kind
+        } else {
+            match obfuscated.mba_class() {
+                mba_expr::MbaClass::Linear => ObfuscationKind::Linear,
+                mba_expr::MbaClass::SemiLinear => ObfuscationKind::SemiLinear,
+                mba_expr::MbaClass::Polynomial => ObfuscationKind::Polynomial,
+                mba_expr::MbaClass::NonPolynomial => ObfuscationKind::NonPolynomial,
+            }
         };
         Sample {
             id,
@@ -244,6 +298,7 @@ impl Corpus {
                 "semi-linear" => ObfuscationKind::SemiLinear,
                 "poly" => ObfuscationKind::Polynomial,
                 "non-poly" => ObfuscationKind::NonPolynomial,
+                "residual" => ObfuscationKind::Residual,
                 other => return Err(format!("line {}: unknown kind `{other}`", lineno + 1)),
             };
             let ground_truth: Expr = truth
@@ -300,6 +355,7 @@ mod tests {
                 ObfuscationKind::SemiLinear => mba_expr::MbaClass::SemiLinear,
                 ObfuscationKind::Polynomial => mba_expr::MbaClass::Polynomial,
                 ObfuscationKind::NonPolynomial => mba_expr::MbaClass::NonPolynomial,
+                ObfuscationKind::Residual => mba_expr::MbaClass::NonPolynomial,
             };
             assert_eq!(class, expected, "sample {s}");
         }
@@ -311,6 +367,35 @@ mod tests {
         assert!(c.by_kind(ObfuscationKind::Linear).count() >= 10);
         assert!(c.by_kind(ObfuscationKind::Polynomial).count() >= 10);
         assert!(c.by_kind(ObfuscationKind::NonPolynomial).count() >= 10);
+    }
+
+    #[test]
+    fn residual_profile_generates_labeled_nonpoly_samples() {
+        let c = Corpus::generate_residual(&CorpusConfig {
+            seed: 2,
+            per_category: 16,
+        });
+        assert_eq!(c.len(), 16);
+        let mut rng = StdRng::seed_from_u64(77);
+        for s in c.samples() {
+            assert_eq!(s.kind, ObfuscationKind::Residual, "sample {s}");
+            assert_eq!(
+                s.obfuscated.mba_class(),
+                mba_expr::MbaClass::NonPolynomial,
+                "sample {s}"
+            );
+            assert!(
+                s.ground_truth.node_count() <= 5,
+                "residual ground truths must stay synthesizable: {s}"
+            );
+            assert!(s.verify(&mut rng, 8), "sample failed: {s}");
+        }
+        // The label survives the text round trip.
+        let parsed = Corpus::from_text(&c.to_text()).expect("roundtrip parses");
+        assert!(parsed
+            .samples()
+            .iter()
+            .all(|s| s.kind == ObfuscationKind::Residual));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! constants inside the bitwise layer).
 
 use mba_expr::classify::{decompose_term, flatten_sum};
-use mba_expr::{BinOp, Expr, MbaClass, UnOp};
+use mba_expr::{BinOp, Expr, Ident, MbaClass, UnOp};
 use rand::Rng;
 
 use crate::identities::{obfuscate_linear, zero_identity};
@@ -27,6 +27,14 @@ pub enum ObfuscationKind {
     Polynomial,
     /// Bitwise over arithmetic — everything outside Definition 2.
     NonPolynomial,
+    /// A *residual* for the synthesis tier: the ground truth plus
+    /// parity opaque zeros `(q·(q+1)) ∧ 1` (a product of consecutive
+    /// integers is even, so the low bit is identically zero). The
+    /// bitwise-over-arithmetic wrapper lands outside
+    /// Linear/SemiLinear, and the algebraic pipeline has no mod-2
+    /// reasoning to cancel it — only enumerative synthesis recovers
+    /// the ground truth.
+    Residual,
 }
 
 impl std::fmt::Display for ObfuscationKind {
@@ -36,6 +44,7 @@ impl std::fmt::Display for ObfuscationKind {
             ObfuscationKind::SemiLinear => "semi-linear",
             ObfuscationKind::Polynomial => "poly",
             ObfuscationKind::NonPolynomial => "non-poly",
+            ObfuscationKind::Residual => "residual",
         })
     }
 }
@@ -101,7 +110,38 @@ impl Obfuscator {
             ObfuscationKind::SemiLinear => self.semi_linear(target, rng),
             ObfuscationKind::Polynomial => self.poly(target, rng),
             ObfuscationKind::NonPolynomial => self.non_poly(target, rng),
+            ObfuscationKind::Residual => self.residual(target, rng),
         }
+    }
+
+    /// Residual obfuscation: attach parity opaque zeros
+    /// `z = (q·(q+1)) ∧ 1 ≡ 0` (with `q` drawn from small arithmetic
+    /// forms over the target's own variables) via `+ z`, `⊕ z`, or
+    /// `− z`. The `∧` over arithmetic forces `NonPolynomial`, and the
+    /// ground truth is left syntactically intact underneath so an
+    /// enumerative tier with a small node budget can recover it.
+    fn residual(&self, target: &Expr, rng: &mut impl Rng) -> Expr {
+        let vars: Vec<Ident> = target.vars().into_iter().collect();
+        if vars.is_empty() {
+            // Constant targets have no variables to seed the parity
+            // trick with; fall back to the non-poly rewriter.
+            return self.non_poly(target, rng);
+        }
+        let mut out = target.clone();
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let q = parity_seed(&vars, rng);
+            let z = Expr::binary(
+                BinOp::And,
+                q.clone() * (q + Expr::one()),
+                Expr::one(),
+            );
+            out = match rng.gen_range(0..3u32) {
+                0 => out + z,
+                1 => out ^ z,
+                _ => out - z,
+            };
+        }
+        out
     }
 
     /// Semi-linear obfuscation: linear-obfuscate, then push non-uniform
@@ -259,6 +299,26 @@ impl Obfuscator {
             }
         }
         current
+    }
+}
+
+/// A small arithmetic expression over `vars` to seed a parity opaque
+/// zero. Any integer value works (`q` and `q+1` are consecutive, so
+/// their product is even), but arithmetic forms keep the zero opaque
+/// to the signature-based bitwise normalization.
+fn parity_seed(vars: &[Ident], rng: &mut impl Rng) -> Expr {
+    let v = Expr::var(vars[rng.gen_range(0..vars.len())].clone());
+    match rng.gen_range(0..4u32) {
+        0 => v,
+        1 => {
+            let w = Expr::var(vars[rng.gen_range(0..vars.len())].clone());
+            v + w
+        }
+        2 => {
+            let w = Expr::var(vars[rng.gen_range(0..vars.len())].clone());
+            v * w
+        }
+        _ => v + Expr::constant(rng.gen_range(1..=7i128)),
     }
 }
 
@@ -425,6 +485,48 @@ mod tests {
             assert_eq!(obf.mba_class(), MbaClass::NonPolynomial, "{src} -> {obf}");
             check_equiv(&target, &obf, &mut rng);
         }
+    }
+
+    #[test]
+    fn residual_kind_lands_outside_linear_and_semi_linear() {
+        let mut rng = StdRng::seed_from_u64(606);
+        let ob = Obfuscator::new();
+        for src in ["x+y", "x-y", "x&y", "x|y", "x^y", "2*x", "x+1", "x+y+z"] {
+            let target: Expr = src.parse().unwrap();
+            for round in 0..4 {
+                let obf = ob.obfuscate(&target, ObfuscationKind::Residual, &mut rng);
+                assert_eq!(
+                    obf.mba_class(),
+                    MbaClass::NonPolynomial,
+                    "{src} round {round} -> {obf}"
+                );
+                check_equiv(&target, &obf, &mut rng);
+                // The wrapper must stay small enough for a synthesis
+                // tier with a modest node budget to beat.
+                assert!(
+                    obf.node_count() <= target.node_count() + 2 * 12,
+                    "{src} -> {obf} grew too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_on_constant_target_falls_back_soundly() {
+        let mut rng = StdRng::seed_from_u64(607);
+        let ob = Obfuscator::new();
+        let target: Expr = "7".parse().unwrap();
+        let obf = ob.obfuscate(&target, ObfuscationKind::Residual, &mut rng);
+        check_equiv(&target, &obf, &mut rng);
+    }
+
+    #[test]
+    fn residual_determinism_per_seed() {
+        let ob = Obfuscator::new();
+        let target: Expr = "x+y".parse().unwrap();
+        let a = ob.obfuscate(&target, ObfuscationKind::Residual, &mut StdRng::seed_from_u64(9));
+        let b = ob.obfuscate(&target, ObfuscationKind::Residual, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
     }
 
     #[test]

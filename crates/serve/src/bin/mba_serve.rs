@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mba_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!           [--max-line-bytes N]
+//!           [--max-line-bytes N] [--no-synthesis]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (port 0 is
@@ -15,7 +15,7 @@ use mba_serve::{Server, ServerConfig};
 
 fn usage() -> String {
     "usage: mba_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-     [--max-line-bytes N]"
+     [--max-line-bytes N] [--no-synthesis]"
         .to_string()
 }
 
@@ -46,6 +46,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     return Err("--max-line-bytes must be at least 64".into());
                 }
             }
+            "--no-synthesis" => config.use_synthesis = false,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

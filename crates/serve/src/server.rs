@@ -75,6 +75,10 @@ pub struct ServerConfig {
     /// simplifying, to make queue-overflow behaviour deterministic in
     /// tests. Always `None` in production configurations.
     pub worker_delay: Option<Duration>,
+    /// Whether the per-width simplifiers run the enumerative synthesis
+    /// tier on residual expressions. On by default; `--no-synthesis`
+    /// turns it off for latency-sensitive deployments.
+    pub use_synthesis: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +89,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_line_bytes: MAX_LINE_BYTES,
             worker_delay: None,
+            use_synthesis: true,
         }
     }
 }
@@ -131,6 +136,9 @@ pub struct ServerState {
     /// Width changes the coefficient ring, so results are width-keyed;
     /// the signature layer underneath is width-generic and shared.
     simplifiers: RwLock<HashMap<u32, Arc<Simplifier>>>,
+    /// Whether freshly built simplifiers enable the synthesis tier
+    /// (frozen at bind time from [`ServerConfig::use_synthesis`]).
+    use_synthesis: bool,
     shutting_down: AtomicBool,
     /// Process-wide metrics registry; per-width simplifiers record
     /// their stage spans here, so `stats` can break serving time down
@@ -149,11 +157,12 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    fn new() -> ServerState {
+    fn new(use_synthesis: bool) -> ServerState {
         let obs = Arc::new(MetricsRegistry::new());
         ServerState {
             sig_cache: Arc::new(SigCache::new()),
             simplifiers: RwLock::new(HashMap::new()),
+            use_synthesis,
             shutting_down: AtomicBool::new(false),
             counters: Counters::resolve(&obs),
             queue_wait: obs.histogram("serve.queue.wait.micros"),
@@ -194,6 +203,7 @@ impl ServerState {
             Arc::new(Simplifier::with_metrics(
                 SimplifyConfig {
                     width,
+                    use_synthesis: self.use_synthesis,
                     ..SimplifyConfig::default()
                 },
                 Arc::clone(&self.sig_cache),
@@ -232,8 +242,8 @@ impl Server {
         Ok(Server {
             listener,
             local_addr,
+            state: Arc::new(ServerState::new(config.use_synthesis)),
             config,
-            state: Arc::new(ServerState::new()),
             queue,
         })
     }

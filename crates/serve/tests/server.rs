@@ -42,6 +42,33 @@ fn serves_the_papers_examples_end_to_end() {
 }
 
 #[test]
+fn synthesis_tier_is_served_by_default_and_gated_by_config() {
+    // A parity opaque zero ((x*(x+1)) & 1 ≡ 0) keeps the expression
+    // outside the algebraic pipeline's reach; only the synthesis tier
+    // recovers `x+y`. With `use_synthesis: false` the server must leave
+    // the residual unreduced rather than guess.
+    let residual = "x + y + ((x*(x+1)) & 1)";
+    let (addr, handle) = harness(ServerConfig::default());
+    let mut client = connect(addr);
+    let r = client.simplify(0, residual, 64, None).unwrap();
+    assert_eq!(r.str_field("simplified"), Some("x+y"), "{}", r.raw);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    let config = ServerConfig {
+        use_synthesis: false,
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = harness(config);
+    let mut client = connect(addr);
+    let r = client.simplify(0, residual, 64, None).unwrap();
+    assert!(r.is_ok(), "{}", r.raw);
+    assert_ne!(r.str_field("simplified"), Some("x+y"), "{}", r.raw);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn width_is_honoured_per_request() {
     let (addr, handle) = harness(ServerConfig::default());
     let mut client = connect(addr);

@@ -1,0 +1,131 @@
+//! Process-global counters for the synthesis tier, mirroring the
+//! `simba.*` counter idiom: relaxed atomics bumped from the hot path,
+//! snapshot + delta helpers for benches and tests, and an obs bridge
+//! publishing `synth.*` gauges next to the `eval.*` engine gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static BUDGET_EXHAUSTED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one synthesis query that passed the eligibility gates.
+pub(crate) fn record_attempt() {
+    ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one accepted (verified, strictly better) substitution.
+pub(crate) fn record_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts enumerated candidates (pool growth, pre-dedup).
+pub(crate) fn record_candidates(n: u64) {
+    CANDIDATES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Counts a candidate that matched the signature but failed the probe
+/// re-verify — the original expression was kept.
+pub(crate) fn record_fallback() {
+    FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts a pool build truncated by the candidate or wall-clock budget.
+pub(crate) fn record_budget_exhausted() {
+    BUDGET_EXHAUSTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the synthesis-tier counters since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthStats {
+    /// Eligible synthesis queries.
+    pub attempts: u64,
+    /// Accepted substitutions (signature + probe verified, strictly
+    /// better score).
+    pub hits: u64,
+    /// Candidates enumerated into the pools, before signature dedup.
+    pub candidates: u64,
+    /// Signature matches rejected by the probe re-verify.
+    pub fallbacks: u64,
+    /// Pool builds cut short by the candidate-count or wall-clock
+    /// budget.
+    pub budget_exhausted: u64,
+}
+
+impl SynthStats {
+    /// Fraction of eligible queries that produced a substitution
+    /// (`0.0` when nothing was attempted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.attempts as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &SynthStats) -> SynthStats {
+        SynthStats {
+            attempts: self.attempts - earlier.attempts,
+            hits: self.hits - earlier.hits,
+            candidates: self.candidates - earlier.candidates,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+            budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
+        }
+    }
+}
+
+/// Reads the process-global synthesis counters.
+pub fn synth_stats() -> SynthStats {
+    SynthStats {
+        attempts: ATTEMPTS.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed),
+        candidates: CANDIDATES.load(Ordering::Relaxed),
+        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+        budget_exhausted: BUDGET_EXHAUSTED.load(Ordering::Relaxed),
+    }
+}
+
+/// Mirrors the synthesis counters into `registry` as `synth.*` gauges,
+/// the same snapshot-point bridge as `publish_simba_metrics` /
+/// `publish_eval_engine_metrics`.
+pub fn publish_synth_metrics(registry: &mba_obs::MetricsRegistry) {
+    let s = synth_stats();
+    registry.gauge("synth.attempts").set(s.attempts as i64);
+    registry.gauge("synth.hits").set(s.hits as i64);
+    registry.gauge("synth.candidates").set(s.candidates as i64);
+    registry.gauge("synth.fallbacks").set(s.fallbacks as i64);
+    registry
+        .gauge("synth.budget_exhausted")
+        .set(s.budget_exhausted as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_publish() {
+        let before = synth_stats();
+        record_attempt();
+        record_hit();
+        record_candidates(7);
+        record_fallback();
+        record_budget_exhausted();
+        let delta = synth_stats().since(&before);
+        assert_eq!(delta.attempts, 1);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.candidates, 7);
+        assert_eq!(delta.fallbacks, 1);
+        assert_eq!(delta.budget_exhausted, 1);
+        assert!(delta.hit_rate() > 0.0);
+
+        let registry = mba_obs::MetricsRegistry::new();
+        publish_synth_metrics(&registry);
+        let snap = registry.snapshot();
+        assert!(snap.gauge("synth.attempts") >= 1);
+        assert!(snap.gauge("synth.candidates") >= 7);
+    }
+}

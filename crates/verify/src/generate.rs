@@ -35,6 +35,9 @@ pub enum CaseKind {
     Polynomial,
     /// Non-polynomial MBA obfuscation of a known target.
     NonPolynomial,
+    /// Residual obfuscation of a known target: parity opaque zeros the
+    /// algebraic pipeline cannot cancel, exercising the synthesis tier.
+    Residual,
 }
 
 impl std::fmt::Display for CaseKind {
@@ -45,6 +48,7 @@ impl std::fmt::Display for CaseKind {
             CaseKind::SemiLinear => "semi-linear",
             CaseKind::Polynomial => "poly",
             CaseKind::NonPolynomial => "non-poly",
+            CaseKind::Residual => "residual",
         })
     }
 }
@@ -101,11 +105,12 @@ pub fn case_rng(seed: u64, index: u64) -> StdRng {
 pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
     let mut rng = case_rng(seed, index);
     if rng.gen_bool(config.obfuscated_fraction.clamp(0.0, 1.0)) {
-        let kind = match index % 4 {
+        let kind = match index % 5 {
             0 => ObfuscationKind::Linear,
             1 => ObfuscationKind::SemiLinear,
             2 => ObfuscationKind::Polynomial,
-            _ => ObfuscationKind::NonPolynomial,
+            3 => ObfuscationKind::NonPolynomial,
+            _ => ObfuscationKind::Residual,
         };
         let target_config = RandomExprConfig {
             max_depth: config.target_depth,
@@ -120,6 +125,7 @@ pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
                 ObfuscationKind::SemiLinear => CaseKind::SemiLinear,
                 ObfuscationKind::Polynomial => CaseKind::Polynomial,
                 ObfuscationKind::NonPolynomial => CaseKind::NonPolynomial,
+                ObfuscationKind::Residual => CaseKind::Residual,
             },
             expr,
             target: Some(target),
@@ -199,7 +205,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(seen_kinds.len(), 4, "all four obfuscation kinds appear");
+        assert_eq!(seen_kinds.len(), 5, "all five obfuscation kinds appear");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Each iteration generates one case (a pure function of
 //! `(seed, index)`), runs it through the simplifier's entry points —
 //! the shared cache-on path, a cache-off path, the batch path, and
-//! (when no bug is injected) a fast-path-off path and an arena-off
-//! path — and then interrogates the results:
+//! (when no bug is injected) a fast-path-off path, an arena-off path,
+//! and a synthesis-off path — and then interrogates the results:
 //!
 //! * all outputs must be **byte-identical** (the PR-1 invariant:
 //!   caching, scheduling, the simba fast path, and the hash-consed
@@ -52,6 +52,11 @@ pub enum SimplifyPath {
     /// Configuration with `use_arena: false` — the tree-walking route,
     /// pinning the hash-consed arena's byte-identity contract.
     NoArena,
+    /// Configuration with `use_synthesis: false` — pinning the
+    /// synthesis tier's contract that a *rejection* is byte-invisible
+    /// (the comparison is skipped when the cached result's tier is
+    /// `Synthesis`, where divergence is the point).
+    NoSynth,
 }
 
 impl std::fmt::Display for SimplifyPath {
@@ -62,6 +67,7 @@ impl std::fmt::Display for SimplifyPath {
             SimplifyPath::Batch => "batch",
             SimplifyPath::NoSimba => "nosimba",
             SimplifyPath::NoArena => "noarena",
+            SimplifyPath::NoSynth => "nosynth",
         })
     }
 }
@@ -209,6 +215,7 @@ pub struct Fuzzer {
     uncached: Simplifier,
     nosimba: Simplifier,
     noarena: Simplifier,
+    nosynth: Simplifier,
 }
 
 /// Salt separating the oracle's RNG stream from the generator's, so
@@ -256,6 +263,15 @@ impl Fuzzer {
             Arc::new(SigCache::new()),
             Arc::clone(&obs),
         );
+        let nosynth = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_synthesis: false,
+                use_cache: true,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
         let oracle = EquivalenceOracle::new(config.oracle.clone());
         Fuzzer {
             config,
@@ -264,6 +280,7 @@ impl Fuzzer {
             uncached,
             nosimba,
             noarena,
+            nosynth,
         }
     }
 
@@ -392,7 +409,8 @@ impl Fuzzer {
         batch_output: &Expr,
         stats: &mut OracleStats,
     ) -> CaseOutcome {
-        let cached_out = self.cached.simplify_detailed(&case.expr).output;
+        let cached = self.cached.simplify_detailed(&case.expr);
+        let (cached_out, cached_tier) = (cached.output, cached.tier);
         let uncached_out = self.uncached.simplify_detailed(&case.expr).output;
         let mut rng = self.oracle_rng(case.index);
 
@@ -434,6 +452,18 @@ impl Fuzzer {
                 DiscrepancyKind::PathDivergence {
                     left: SimplifyPath::Cached,
                     right: SimplifyPath::NoArena,
+                },
+            ))
+        } else if self.check_nosynth()
+            && cached_tier != mba_solver::SimplifyTier::Synthesis
+            && cached_out != self.nosynth.simplify_detailed(&case.expr).output
+        {
+            Some((
+                case.clone(),
+                cached_out.clone(),
+                DiscrepancyKind::PathDivergence {
+                    left: SimplifyPath::Cached,
+                    right: SimplifyPath::NoSynth,
                 },
             ))
         } else {
@@ -494,6 +524,17 @@ impl Fuzzer {
         self.config.simplify.injected_bug.is_none() && self.config.simplify.use_arena
     }
 
+    /// Whether the synthesis-off comparison runs. Same reasoning as
+    /// [`Fuzzer::check_nosimba`]: `SynthUnsoundAccept` corrupts only
+    /// the synthesis route by design. The caller additionally skips
+    /// the comparison when the cached tier is `Synthesis` — an
+    /// *accepted* synthesis is supposed to differ from the
+    /// synthesis-off output (and is held to the equivalence oracle
+    /// instead); only a *rejection* must be byte-invisible.
+    fn check_nosynth(&self) -> bool {
+        self.config.simplify.injected_bug.is_none() && self.config.simplify.use_synthesis
+    }
+
     /// Per-case oracle RNG, decorrelated from the generator stream.
     fn oracle_rng(&self, index: u64) -> StdRng {
         case_rng(self.config.seed ^ ORACLE_SALT, index)
@@ -523,6 +564,7 @@ impl Fuzzer {
                 let simplify = self.config.simplify.clone();
                 let with_nosimba = self.check_nosimba();
                 let with_noarena = self.check_noarena();
+                let with_nosynth = self.check_nosynth();
                 Box::new(move |e: &Expr| {
                     // Fresh cache-on instance per probe so stale cache
                     // state cannot mask (or fake) the divergence.
@@ -530,7 +572,8 @@ impl Fuzzer {
                         use_cache: true,
                         ..simplify.clone()
                     });
-                    let a = fresh.simplify_detailed(e).output;
+                    let detailed = fresh.simplify_detailed(e);
+                    let a = detailed.output;
                     let b = uncached.simplify_detailed(e).output;
                     let c = fresh
                         .simplify_batch_with_jobs(std::slice::from_ref(e), 2)
@@ -549,13 +592,23 @@ impl Fuzzer {
                             return true;
                         }
                     }
-                    with_noarena && {
+                    if with_noarena {
                         let noarena = Simplifier::with_config(SimplifyConfig {
                             use_arena: false,
                             use_cache: true,
                             ..simplify.clone()
                         });
-                        noarena.simplify_detailed(e).output != a
+                        if noarena.simplify_detailed(e).output != a {
+                            return true;
+                        }
+                    }
+                    with_nosynth && detailed.tier != mba_solver::SimplifyTier::Synthesis && {
+                        let nosynth = Simplifier::with_config(SimplifyConfig {
+                            use_synthesis: false,
+                            use_cache: true,
+                            ..simplify.clone()
+                        });
+                        nosynth.simplify_detailed(e).output != a
                     }
                 })
             }
