@@ -159,9 +159,9 @@ fn and_basis(t: usize, vars: &[Ident]) -> Vec<Expr> {
     let mut basis = Vec::with_capacity(1 << t);
     for s in 1usize..(1 << t) {
         let mut e: Option<Expr> = None;
-        for j in 0..t {
+        for (j, var) in vars.iter().enumerate().take(t) {
             if s & (1 << (t - 1 - j)) != 0 {
-                let v = Expr::var(vars[j].as_str());
+                let v = Expr::var(var.as_str());
                 e = Some(match e {
                     None => v,
                     Some(prev) => Expr::binary(BinOp::And, prev, v),

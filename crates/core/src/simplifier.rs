@@ -1390,7 +1390,7 @@ mod tests {
         }
         // The arena-on run actually interned something; the off run's
         // arena stayed empty.
-        assert!(on.arena().len() > 0, "arena-on run never interned");
+        assert!(!on.arena().is_empty(), "arena-on run never interned");
         assert_eq!(off.arena().len(), 0, "arena-off run interned");
     }
 

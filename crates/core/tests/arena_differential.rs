@@ -45,7 +45,7 @@ fn assert_identical(cases: &[Expr], label: &str) {
         }
         // The arena-on side actually used the arena for this corpus.
         assert!(
-            on.arena().len() > 0,
+            !on.arena().is_empty(),
             "{label}: width {width}: arena-on run never interned"
         );
         assert_eq!(off.arena().len(), 0, "{label}: arena-off run interned");

@@ -2,20 +2,28 @@
 //!
 //! ```text
 //! mba_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!           [--max-line-bytes N] [--no-synthesis]
+//!           [--max-line-bytes N] [--no-synthesis] [--thread-io]
+//!           [--cache-budget N] [--cache-snapshot PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (port 0 is
 //! resolved), serves until a `{"control":"shutdown"}` request, drains
 //! in-flight work, and exits 0.
+//!
+//! Connection I/O defaults to the epoll reactor; `--thread-io` selects
+//! the thread-per-connection fallback. `--cache-budget N` caps the
+//! signature cache at N entries (0 disables eviction); `--cache-snapshot
+//! PATH` warm-starts the cache from PATH at bind and writes it back on
+//! shutdown.
 
 use std::process::ExitCode;
 
-use mba_serve::{Server, ServerConfig};
+use mba_serve::{ServeMode, Server, ServerConfig};
 
 fn usage() -> String {
     "usage: mba_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-     [--max-line-bytes N] [--no-synthesis]"
+     [--max-line-bytes N] [--no-synthesis] [--thread-io] [--cache-budget N] \
+     [--cache-snapshot PATH]"
         .to_string()
 }
 
@@ -47,6 +55,14 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 }
             }
             "--no-synthesis" => config.use_synthesis = false,
+            "--thread-io" => config.mode = ServeMode::ThreadPerConnection,
+            "--cache-budget" => {
+                let budget: usize = parse_num(take("--cache-budget")?)?;
+                config.cache_budget = (budget > 0).then_some(budget);
+            }
+            "--cache-snapshot" => {
+                config.cache_snapshot = Some(take("--cache-snapshot")?.into());
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

@@ -15,8 +15,11 @@
 //!   parser/renderer it rides on;
 //! * [`queue`] — the bounded MPMC queue whose `try_push` failure *is*
 //!   the `overloaded` response;
-//! * [`server`] — acceptor, per-connection readers, and the worker
+//! * [`server`] — acceptor, connection I/O (reactor or
+//!   thread-per-connection, see [`server::ServeMode`]), and the worker
 //!   pool;
+//! * [`reactor`] — the epoll event loop behind the default serving
+//!   mode;
 //! * [`client`] — a blocking protocol client.
 //!
 //! Binaries: `mba_serve` (the server) and `mba_loadgen` (replays a
@@ -43,6 +46,7 @@
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Client, Response};
@@ -51,4 +55,4 @@ pub use protocol::{
     Request, MAX_LINE_BYTES,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use server::{Server, ServerConfig, ServerState};
+pub use server::{ServeMode, Server, ServerConfig, ServerState, DEFAULT_CACHE_BUDGET};

@@ -53,8 +53,10 @@ pub struct Request {
     pub expr: String,
     /// Bit width of the target ring (1..=64).
     pub width: u32,
-    /// Serving deadline: a request older than this when (or after) a
-    /// worker handles it is answered with a `deadline` error.
+    /// Serving deadline: the time budget is the half-open interval
+    /// `[0, deadline_ms)` from arrival, so a request whose age reaches
+    /// the deadline when (or after) a worker handles it is answered
+    /// with a `deadline` error — and `deadline_ms: 0` always expires.
     pub deadline_ms: Option<u64>,
 }
 

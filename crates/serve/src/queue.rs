@@ -31,9 +31,23 @@
 //! request is answered with an `internal` error) plus a post-join drain
 //! in `Server::run`. `concurrent_close_never_strands_accepted_items`
 //! below pins the queue half of the story.
+//!
+//! # Poison tolerance
+//!
+//! Every lock acquisition recovers the guard from a [`PoisonError`]
+//! rather than unwrapping it. A thread that panics *while holding the
+//! queue mutex* (a popper dying between `lock()` and the guard drop,
+//! say) used to poison it, and every later `try_push`/`pop`/`len`/
+//! `close` — acceptor, readers, and the rest of the worker pool —
+//! would then panic in a cascade that no per-job `catch_unwind`
+//! downstream could contain. The queue's state is a `VecDeque` plus a
+//! `bool`; every mutation (push_back / pop_front / `closed = true`) is
+//! a single atomic step with no intermediate invariant to corrupt, so
+//! recovering the guard is sound. `poisoned_lock_keeps_serving` below
+//! is the regression test.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +83,11 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Acquires the state lock, recovering from poison (see module doc).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -76,7 +95,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth (racy by nature; telemetry only).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty (telemetry only).
@@ -84,15 +103,19 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Enqueues without blocking.
+    /// Enqueues without blocking. On success, returns the queue depth
+    /// *after* the push, observed under the same lock acquisition —
+    /// callers publish this into the depth gauge instead of re-reading
+    /// `len()` separately (which races with concurrent ops and used to
+    /// publish stale/incoherent depths into stats).
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; the item is returned alongside so the
     /// caller can answer its originator.
-    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
-        let mut inner = self.inner.lock().unwrap();
+    pub fn try_push(&self, item: T) -> Result<usize, (PushError, T)> {
+        let mut inner = self.lock();
         if inner.closed {
             return Err((PushError::Closed, item));
         }
@@ -100,31 +123,38 @@ impl<T> BoundedQueue<T> {
             return Err((PushError::Full, item));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Blocks until an item is available, returning `None` only when
     /// the queue is closed **and** the backlog is fully drained — so a
-    /// `close()` never drops accepted work.
-    pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+    /// `close()` never drops accepted work. The `usize` alongside the
+    /// item is the queue depth *after* the pop, observed under the same
+    /// lock acquisition (same coherent-gauge contract as `try_push`).
+    pub fn pop(&self) -> Option<(T, usize)> {
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+                let depth = inner.items.len();
+                return Some((item, depth));
             }
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes fail, poppers drain the backlog
     /// then observe the close. Idempotent.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -137,12 +167,12 @@ mod tests {
     #[test]
     fn rejects_when_full_and_recovers_after_pop() {
         let q = BoundedQueue::new(2);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
         let (err, item) = q.try_push(3).unwrap_err();
         assert_eq!((err, item), (PushError::Full, 3));
-        assert_eq!(q.pop(), Some(1));
-        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.try_push(3).unwrap(), 2);
         assert_eq!(q.len(), 2);
     }
 
@@ -153,10 +183,67 @@ mod tests {
         q.try_push("b").unwrap();
         q.close();
         assert_eq!(q.try_push("c").unwrap_err().0, PushError::Closed);
-        assert_eq!(q.pop(), Some("a"));
-        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some(("a", 1)));
+        assert_eq!(q.pop(), Some(("b", 0)));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None); // idempotent
+    }
+
+    #[test]
+    fn post_op_depth_is_coherent_under_contention() {
+        // The depth returned by try_push/pop is read under the same
+        // lock as the mutation, so pushing N items single-threadedly
+        // yields depths 1..=N and popping yields N-1..=0 — and under
+        // contention every reported depth must stay within [0, cap].
+        let q = Arc::new(BoundedQueue::new(16));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        if let Ok(d) = q.try_push(i) {
+                            assert!((1..=16).contains(&d), "push depth {d}");
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    while let Some((_, d)) = q.pop() {
+                        assert!(d < 16, "pop depth {d}");
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            q.close();
+        });
+    }
+
+    #[test]
+    fn poisoned_lock_keeps_serving() {
+        // Regression: a popper panicking while holding the queue mutex
+        // used to poison it, cascading panics into every later queue
+        // call from acceptor, readers, and the remaining worker pool.
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap();
+                panic!("die while holding the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(q.inner.is_poisoned(), "test setup: lock must be poisoned");
+        // Every entry point keeps working on the recovered guard.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.pop(), Some((2, 0)));
+        q.close();
+        assert_eq!(q.try_push(3).unwrap_err().0, PushError::Closed);
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -174,7 +261,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 let mut got = Vec::new();
-                while let Some(v) = q.pop() {
+                while let Some((v, _)) = q.pop() {
                     got.push(v);
                 }
                 got
@@ -205,7 +292,7 @@ mod tests {
                     let q = Arc::clone(&q);
                     let flags = &consumed_flags;
                     scope.spawn(move || {
-                        while let Some(v) = q.pop() {
+                        while let Some((v, _)) = q.pop() {
                             flags[v as usize].fetch_add(1, Ordering::SeqCst);
                         }
                     });

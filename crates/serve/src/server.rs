@@ -1,22 +1,35 @@
 //! The resident simplification server.
 //!
-//! Thread architecture (one process, no async runtime — `std::net`
-//! blocking I/O with short read timeouts):
+//! Two serving modes share the protocol, queue, and worker pool; they
+//! differ only in how connection I/O is driven (see
+//! [`ServeMode`]):
+//!
+//! * **Reactor** (default on Linux): one event-loop thread drives a
+//!   nonblocking listener and every connection through epoll — see
+//!   [`crate::reactor`]. This is the production-scale mode: ten
+//!   thousand connections cost ten thousand slab slots, not ten
+//!   thousand stacks.
+//! * **Thread-per-connection**: one blocking reader thread per
+//!   connection with short read timeouts (the original architecture,
+//!   kept as the portable fallback and as a differential oracle — both
+//!   modes must produce byte-identical responses).
 //!
 //! ```text
-//!             ┌─────────────┐   accept   ┌──────────────────┐
-//!  clients ──▶│  acceptor   │──────────▶│ connection reader │ (1/conn)
-//!             └─────────────┘            └────────┬─────────┘
-//!                                                 │ try_push (never blocks)
-//!                                        ┌────────▼─────────┐
-//!                                        │  BoundedQueue    │──full──▶ {"error":"overloaded"}
-//!                                        └────────┬─────────┘
-//!                                                 │ pop
-//!                                        ┌────────▼─────────┐
-//!                                        │   worker pool    │ shares one Arc<SigCache>
-//!                                        └────────┬─────────┘
-//!                                                 │ per-connection write mutex
-//!                                                 ▼ responses (any order, matched by id)
+//!             ┌─────────────┐  accept   ┌─────────────────────┐
+//!  clients ──▶│ acceptor /  │──────────▶│ reader thread (1/conn)│
+//!             │ reactor loop│           │ or reactor state machine│
+//!             └─────────────┘           └────────┬────────────┘
+//!                                                │ try_push (never blocks)
+//!                                       ┌────────▼─────────┐
+//!                                       │  BoundedQueue    │──full──▶ {"error":"overloaded"}
+//!                                       └────────┬─────────┘
+//!                                                │ pop
+//!                                       ┌────────▼─────────┐
+//!                                       │   worker pool    │ shares one Arc<SigCache>
+//!                                       └────────┬─────────┘
+//!                                                │ ResponseSink (write mutex or
+//!                                                ▼  reactor pending buffer)
+//!                                     responses (any order, matched by id)
 //! ```
 //!
 //! **Backpressure.** Readers enqueue with [`BoundedQueue::try_push`];
@@ -39,8 +52,9 @@
 //! the process free to exit 0.
 
 use std::collections::HashMap;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -54,10 +68,33 @@ use crate::protocol::{
     ProtocolError, Reply, Request, MAX_LINE_BYTES,
 };
 use crate::queue::{BoundedQueue, PushError};
+use crate::reactor::{self, ResponseSink};
 
 /// How often blocked readers and the acceptor re-check the shutdown
 /// flag. Bounds shutdown latency, not request latency.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How connection I/O is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One event-loop thread drives all connections through epoll.
+    /// Scales to tens of thousands of concurrent connections.
+    Reactor,
+    /// One blocking reader thread per connection. Portable everywhere
+    /// `std::net` works; thread cost caps realistic concurrency.
+    ThreadPerConnection,
+}
+
+impl Default for ServeMode {
+    /// Reactor wherever the epoll backend exists, threads elsewhere.
+    fn default() -> Self {
+        if mio::backend_available() {
+            ServeMode::Reactor
+        } else {
+            ServeMode::ThreadPerConnection
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -79,6 +116,19 @@ pub struct ServerConfig {
     /// tier on residual expressions. On by default; `--no-synthesis`
     /// turns it off for latency-sensitive deployments.
     pub use_synthesis: bool,
+    /// Connection I/O mode; defaults to the reactor where available.
+    pub mode: ServeMode,
+    /// Signature-cache entry budget; `None` disables eviction. The
+    /// default bounds resident cache memory so a long-lived server
+    /// cannot grow without limit under an adversarial key stream.
+    pub cache_budget: Option<usize>,
+    /// Signature-cache snapshot path: loaded (if present) at bind for a
+    /// warm start, written back when the server drains.
+    pub cache_snapshot: Option<PathBuf>,
+    /// Test-only cap on bytes per socket `write` in reactor mode, to
+    /// deterministically exercise multi-write response flushes. Always
+    /// `None` in production configurations.
+    pub write_chunk_limit: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -90,9 +140,19 @@ impl Default for ServerConfig {
             max_line_bytes: MAX_LINE_BYTES,
             worker_delay: None,
             use_synthesis: true,
+            mode: ServeMode::default(),
+            cache_budget: Some(DEFAULT_CACHE_BUDGET),
+            cache_snapshot: None,
+            write_chunk_limit: None,
         }
     }
 }
+
+/// Default signature-cache entry budget. At roughly a hundred bytes per
+/// cached table this bounds the cache near tens of MiB — far above any
+/// working set the benchmarks reach, so eviction is a memory ceiling,
+/// not a throughput tax.
+pub const DEFAULT_CACHE_BUDGET: usize = 262_144;
 
 /// Monotonic serving counters, pre-resolved `mba-obs` handles so the
 /// hot path never touches the registry lock. The same counters are
@@ -125,10 +185,6 @@ impl Counters {
     }
 }
 
-/// A per-connection response writer, shared between the reader thread
-/// (protocol errors, control acks) and the worker pool (results).
-type SharedWriter = Arc<Mutex<TcpStream>>;
-
 /// State shared by the acceptor, readers, and workers.
 pub struct ServerState {
     sig_cache: Arc<SigCache>,
@@ -152,17 +208,21 @@ pub struct ServerState {
     queue_service: Arc<Histogram>,
     /// Instantaneous queue depth, sampled at enqueue/dequeue edges.
     queue_depth: Arc<Gauge>,
-    /// Writers owed a shutdown acknowledgement once draining finishes.
-    ackers: Mutex<Vec<(Option<u64>, SharedWriter)>>,
+    /// Sinks owed a shutdown acknowledgement once draining finishes.
+    ackers: Mutex<Vec<(Option<u64>, ResponseSink)>>,
 }
 
 impl ServerState {
-    fn new(use_synthesis: bool) -> ServerState {
+    fn new(config: &ServerConfig) -> ServerState {
         let obs = Arc::new(MetricsRegistry::new());
+        let sig_cache = match config.cache_budget {
+            Some(budget) => SigCache::with_budget(budget),
+            None => SigCache::new(),
+        };
         ServerState {
-            sig_cache: Arc::new(SigCache::new()),
+            sig_cache: Arc::new(sig_cache),
             simplifiers: RwLock::new(HashMap::new()),
-            use_synthesis,
+            use_synthesis: config.use_synthesis,
             shutting_down: AtomicBool::new(false),
             counters: Counters::resolve(&obs),
             queue_wait: obs.histogram("serve.queue.wait.micros"),
@@ -194,6 +254,17 @@ impl ServerState {
         self.shutting_down.load(Ordering::SeqCst)
     }
 
+    /// Flips the shutdown flag (idempotent). The serving loop observes
+    /// it and begins draining.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Sinks owed a shutdown acknowledgement once draining finishes.
+    pub(crate) fn ackers(&self) -> &Mutex<Vec<(Option<u64>, ResponseSink)>> {
+        &self.ackers
+    }
+
     fn simplifier_for(&self, width: u32) -> Arc<Simplifier> {
         if let Some(s) = self.simplifiers.read().unwrap().get(&width) {
             return Arc::clone(s);
@@ -214,10 +285,10 @@ impl ServerState {
 }
 
 /// One unit of queued work.
-struct Job {
-    request: Request,
-    received: Instant,
-    writer: Arc<Mutex<TcpStream>>,
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) received: Instant,
+    pub(crate) writer: ResponseSink,
 }
 
 /// A bound, not-yet-running server.
@@ -239,10 +310,26 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let state = Arc::new(ServerState::new(&config));
+        // Warm-start: a readable snapshot primes the cache; a missing
+        // or malformed one costs nothing but the cold misses.
+        if let Some(path) = &config.cache_snapshot {
+            match std::fs::read_to_string(path) {
+                Ok(doc) => {
+                    if let Err(e) = state.sig_cache.load_snapshot(&doc) {
+                        eprintln!("mba-serve: ignoring snapshot {}: {e}", path.display());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!("mba-serve: ignoring snapshot {}: {e}", path.display());
+                }
+            }
+        }
         Ok(Server {
             listener,
             local_addr,
-            state: Arc::new(ServerState::new(config.use_synthesis)),
+            state,
             config,
             queue,
         })
@@ -284,60 +371,88 @@ impl Server {
             })
             .collect();
 
-        let mut connections = Vec::new();
-        for stream in listener.incoming() {
-            if state.is_shutting_down() {
-                break;
+        let result = match config.mode {
+            ServeMode::Reactor => {
+                reactor::run(listener, &config, Arc::clone(&state), queue, workers)
             }
-            let Ok(stream) = stream else { continue };
-            let state = Arc::clone(&state);
-            let queue = Arc::clone(&queue);
-            let max_line = config.max_line_bytes;
-            connections.push(std::thread::spawn(move || {
-                // A failed socket setup just drops the connection.
-                let _ = handle_connection(stream, &state, &queue, max_line, local_addr);
-            }));
+            ServeMode::ThreadPerConnection => {
+                run_threaded(listener, local_addr, &config, &state, &queue, workers);
+                Ok(())
+            }
+        };
+        // Persist the cache across restarts; the next bind warm-starts
+        // from it. Failures cost only the warm start.
+        if let Some(path) = &config.cache_snapshot {
+            if let Err(e) = std::fs::write(path, state.sig_cache.snapshot_json()) {
+                eprintln!("mba-serve: could not write snapshot {}: {e}", path.display());
+            }
         }
+        result
+    }
+}
 
-        // Shutdown: readers exit at their next poll tick, the queue
-        // closes once no reader can enqueue, and workers drain what was
-        // accepted. Join order matters — readers first, so every
-        // enqueue happens before close().
-        for c in connections {
-            let _ = c.join();
+/// The thread-per-connection serving loop: blocking accept, one reader
+/// thread per connection, drain-then-ack on shutdown.
+fn run_threaded(
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: &ServerConfig,
+    state: &Arc<ServerState>,
+    queue: &Arc<BoundedQueue<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+) {
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if state.is_shutting_down() {
+            break;
         }
-        queue.close();
-        for w in workers {
-            if w.join().is_err() {
-                // A worker died outside the per-job catch-unwind guard
-                // (pre-pop or post-respond). No job is lost at those
-                // points, but count it — a dead worker is still a bug.
-                state.counters.internal_errors.inc();
-            }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let queue = Arc::clone(queue);
+        let max_line = config.max_line_bytes;
+        connections.push(std::thread::spawn(move || {
+            // A failed socket setup just drops the connection.
+            let _ = handle_connection(stream, &state, &queue, max_line, local_addr);
+        }));
+    }
+
+    // Shutdown: readers exit at their next poll tick, the queue
+    // closes once no reader can enqueue, and workers drain what was
+    // accepted. Join order matters — readers first, so every
+    // enqueue happens before close().
+    for c in connections {
+        let _ = c.join();
+    }
+    queue.close();
+    for w in workers {
+        if w.join().is_err() {
+            // A worker died outside the per-job catch-unwind guard
+            // (pre-pop or post-respond). No job is lost at those
+            // points, but count it — a dead worker is still a bug.
+            state.counters.internal_errors.inc();
         }
-        // Belt-and-braces: if a worker died, its share of the backlog
-        // may still be queued. The queue is closed, so pop() cannot
-        // block; answer anything left rather than stranding it.
-        while let Some(job) = queue.pop() {
-            write_line(
-                &job.writer,
-                &render_error(&ProtocolError::new(
-                    Some(job.request.id),
-                    ErrorCode::ShuttingDown,
-                    "server is draining",
-                )),
-            );
-        }
-        // All responses are flushed; acknowledge the shutdown callers.
-        let ackers = std::mem::take(&mut *state.ackers.lock().unwrap());
-        let drained = state.counters.served.get();
-        for (id, writer) in ackers {
-            write_line(
-                &writer,
-                &render_ok("shutdown", id, &[("served".into(), drained.to_string())]),
-            );
-        }
-        Ok(())
+    }
+    // Belt-and-braces: if a worker died, its share of the backlog
+    // may still be queued. The queue is closed, so pop() cannot
+    // block; answer anything left rather than stranding it.
+    while let Some((job, _)) = queue.pop() {
+        write_line(
+            &job.writer,
+            &render_error(&ProtocolError::new(
+                Some(job.request.id),
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            )),
+        );
+    }
+    // All responses are flushed; acknowledge the shutdown callers.
+    let ackers = std::mem::take(&mut *state.ackers().lock().unwrap());
+    let drained = state.counters.served.get();
+    for (id, writer) in ackers {
+        write_line(
+            &writer,
+            &render_ok("shutdown", id, &[("served".into(), drained.to_string())]),
+        );
     }
 }
 
@@ -350,19 +465,10 @@ fn effective_workers(configured: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Writes one response line (appending the newline) and flushes.
+/// Writes one response line (appending the newline) through the sink.
 /// Write errors mean the client is gone; the server does not care.
-/// Poison-tolerant: a panic elsewhere while the write mutex was held
-/// must not cascade into every later responder on the connection.
-fn write_line(writer: &Mutex<TcpStream>, line: &str) {
-    let mut w = match writer.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    let _ = w
-        .write_all(line.as_bytes())
-        .and_then(|()| w.write_all(b"\n"))
-        .and_then(|()| w.flush());
+pub(crate) fn write_line(writer: &ResponseSink, line: &str) {
+    writer.send(line);
 }
 
 /// Reads newline-delimited requests off one connection until EOF or
@@ -378,7 +484,7 @@ fn handle_connection(
     // Short read timeouts turn the blocking read into a poll loop on
     // the shutdown flag.
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let writer = ResponseSink::Blocking(Arc::new(Mutex::new(stream.try_clone()?)));
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     // When a line overflows `max_line_bytes` it is answered once and
@@ -401,7 +507,9 @@ fn handle_connection(
             ReadOutcome::Eof => {
                 if !buf.is_empty() && !discarding {
                     // Final unterminated line: still a request.
-                    handle_line(&buf, state, queue, &writer, local_addr);
+                    if handle_line(&buf, state, queue, &writer) {
+                        poke_acceptor(local_addr);
+                    }
                 }
                 return Ok(());
             }
@@ -416,11 +524,13 @@ fn handle_connection(
                     buf.clear();
                     continue;
                 }
-                let shutdown_received = handle_line(&buf, state, queue, &writer, local_addr);
+                let shutdown_received = handle_line(&buf, state, queue, &writer);
                 buf.clear();
                 if shutdown_received {
                     // No further requests on this connection; the ack
-                    // arrives from `run()` once draining completes.
+                    // arrives once draining completes. The blocking
+                    // acceptor needs a poke to notice the flag.
+                    poke_acceptor(local_addr);
                     return Ok(());
                 }
             }
@@ -465,7 +575,7 @@ fn read_until_newline(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> R
     }
 }
 
-fn reject_oversized(state: &ServerState, writer: &Mutex<TcpStream>, max_line_bytes: usize) {
+fn reject_oversized(state: &ServerState, writer: &ResponseSink, max_line_bytes: usize) {
     state.counters.protocol_errors.inc();
     write_line(
         writer,
@@ -478,13 +588,13 @@ fn reject_oversized(state: &ServerState, writer: &Mutex<TcpStream>, max_line_byt
 }
 
 /// Decodes and dispatches one complete line. Returns `true` when the
-/// line was a shutdown request.
-fn handle_line(
+/// line was a shutdown request (the shutdown flag is already set; the
+/// caller unblocks its accept loop however that loop blocks).
+pub(crate) fn handle_line(
     raw: &[u8],
     state: &Arc<ServerState>,
     queue: &BoundedQueue<Job>,
-    writer: &Arc<Mutex<TcpStream>>,
-    local_addr: SocketAddr,
+    writer: &ResponseSink,
 ) -> bool {
     let Ok(line) = std::str::from_utf8(raw) else {
         state.counters.protocol_errors.inc();
@@ -517,12 +627,8 @@ fn handle_line(
             false
         }
         Ok(ClientMessage::Control(Control::Shutdown, id)) => {
-            state
-                .ackers
-                .lock()
-                .unwrap()
-                .push((id, Arc::clone(writer)));
-            initiate_shutdown(state, local_addr);
+            state.ackers().lock().unwrap().push((id, writer.clone()));
+            state.begin_shutdown();
             true
         }
         Ok(ClientMessage::Simplify(request)) => {
@@ -540,10 +646,13 @@ fn handle_line(
             let job = Job {
                 request,
                 received: Instant::now(),
-                writer: Arc::clone(writer),
+                writer: writer.clone(),
             };
             match queue.try_push(job) {
-                Ok(()) => state.queue_depth.set(queue.len() as i64),
+                // The post-push depth comes back from under the queue
+                // lock; a separate `queue.len()` here would race with
+                // concurrent pops and publish incoherent gauges.
+                Ok(depth) => state.queue_depth.set(depth as i64),
                 Err((why, job)) => {
                     let (code, detail) = match why {
                         PushError::Full => {
@@ -568,11 +677,10 @@ fn handle_line(
     }
 }
 
-/// Flips the shutdown flag and unblocks the acceptor with a loopback
-/// self-connection (idempotent; extra connections are dropped by the
-/// accept loop's flag check).
-fn initiate_shutdown(state: &ServerState, local_addr: SocketAddr) {
-    state.shutting_down.store(true, Ordering::SeqCst);
+/// Unblocks the thread-mode acceptor with a loopback self-connection
+/// (idempotent; extra connections are dropped by the accept loop's
+/// flag check). The reactor needs no poke — its loop polls the flag.
+fn poke_acceptor(local_addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&local_addr, Duration::from_millis(200));
 }
 
@@ -602,6 +710,14 @@ fn stats_fields(state: &ServerState, queue: &BoundedQueue<Job>) -> Vec<(String, 
         (
             "sig_cache_entries".into(),
             state.sig_cache.len().to_string(),
+        ),
+        (
+            "sig_cache_budget".into(),
+            state.sig_cache.budget().unwrap_or(0).to_string(),
+        ),
+        (
+            "sig_evictions".into(),
+            state.sig_cache.evictions().to_string(),
         ),
     ];
     for (field, metric) in [
@@ -634,9 +750,10 @@ fn stats_fields(state: &ServerState, queue: &BoundedQueue<Job>) -> Vec<(String, 
 /// worker lives on — a panicking input can never strand its caller or
 /// shrink the pool.
 fn worker_loop(queue: &BoundedQueue<Job>, state: &ServerState, delay: Option<Duration>) {
-    while let Some(job) = queue.pop() {
+    while let Some((job, depth)) = queue.pop() {
         state.queue_wait.record(job.received.elapsed().as_micros() as u64);
-        state.queue_depth.set(queue.len() as i64);
+        // Post-pop depth observed under the queue lock (see try_push).
+        state.queue_depth.set(depth as i64);
         if let Some(d) = delay {
             std::thread::sleep(d);
         }
@@ -664,8 +781,10 @@ fn worker_loop(queue: &BoundedQueue<Job>, state: &ServerState, delay: Option<Dur
 /// Answers one dequeued request: deadline check, parse, simplify,
 /// deadline re-check, respond.
 fn serve_job(job: &Job, state: &ServerState) {
+    // `>=` so `deadline_ms: 0` means "already expired", matching the
+    // protocol doc: the budget is the half-open interval [0, d).
     let deadline = job.request.deadline_ms.map(Duration::from_millis);
-    let expired = |elapsed: Duration| deadline.is_some_and(|d| elapsed > d);
+    let expired = |elapsed: Duration| deadline.is_some_and(|d| elapsed >= d);
 
     if expired(job.received.elapsed()) {
         return reject_deadline(job, state);

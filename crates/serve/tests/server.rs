@@ -145,6 +145,30 @@ fn expired_deadline_is_answered_with_a_timeout_error() {
 }
 
 #[test]
+fn zero_deadline_always_expires() {
+    // `deadline_ms: 0` grants the half-open budget [0, 0) — no time at
+    // all. It must be answered with a `deadline` error no matter how
+    // fast the worker dequeues it: the check is `elapsed >= deadline`,
+    // and every elapsed time satisfies `elapsed >= 0`. Deterministic,
+    // no delays needed.
+    let (addr, handle) = harness(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+    for id in 0..20 {
+        let r = client.simplify(id, "x + y", 64, Some(0)).unwrap();
+        assert_eq!(r.error(), Some("deadline"), "request {id} got {}", r.raw);
+        assert_eq!(r.id(), Some(id));
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.u64_field("deadline_expired"), Some(20));
+    assert_eq!(stats.u64_field("served"), Some(0));
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn overload_sheds_load_while_the_server_stays_live() {
     // Queue capacity 1 and a slow single worker: a pipelined burst must
     // overflow the queue, and every overflow must be answered with

@@ -29,7 +29,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mba_expr::{Expr, ExprArena, Ident, NodeId};
@@ -92,44 +92,157 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
-/// A sharded `key → value` map with per-map hit/miss counters.
+/// One entry in a shard's clock ring. The `referenced` bit is an
+/// atomic so the read path can mark recency under the shard's *read*
+/// lock — hits never take the write lock.
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    referenced: AtomicBool,
+}
+
+/// One shard: the key index plus the clock ring it points into.
+/// Invariant: `map.len() == slots.len()`, and `map[slots[i].key] == i`.
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Clock hand — the next eviction candidate.
+    hand: usize,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+/// A sharded `key → value` map with optional clock (second-chance)
+/// eviction.
+///
+/// Unbounded maps grow forever — the pre-eviction behaviour, kept for
+/// library use where byte-identity across a whole corpus matters more
+/// than memory. Bounded maps hold at most `per_shard_cap` entries per
+/// shard: an insert into a full shard sweeps the clock hand, clearing
+/// `referenced` bits as it passes, and replaces the first slot found
+/// unreferenced since the last sweep. The sweep is bounded (two laps,
+/// then the slot under the hand is taken regardless), so inserts are
+/// O(cap) worst case and O(1) amortized.
 struct ShardedMap<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Vec<RwLock<Shard<K, V>>>,
+    /// Per-shard entry cap; `None` means unbounded.
+    per_shard_cap: Option<usize>,
+    evictions: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
     fn new() -> Self {
+        Self::with_cap(None)
+    }
+
+    fn with_cap(per_shard_cap: Option<usize>) -> Self {
         ShardedMap {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
+            per_shard_cap,
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    fn shard(&self, key: &K) -> &RwLock<Shard<K, V>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).read().get(key).cloned()
+        let shard = self.shard(key).read();
+        let &idx = shard.map.get(key)?;
+        let slot = &shard.slots[idx];
+        slot.referenced.store(true, Ordering::Relaxed);
+        Some(slot.value.clone())
     }
 
     fn insert(&self, key: K, value: V) {
-        self.shard(&key).write().insert(key, value);
+        let mut shard = self.shard(&key).write();
+        if let Some(&idx) = shard.map.get(&key) {
+            // Racing computations of the same key: last write wins,
+            // which is harmless — every cached value is a pure function
+            // of its key.
+            let slot = &mut shard.slots[idx];
+            slot.value = value;
+            slot.referenced.store(true, Ordering::Relaxed);
+            return;
+        }
+        if self.per_shard_cap.is_none_or(|cap| shard.slots.len() < cap) {
+            let idx = shard.slots.len();
+            shard.slots.push(Slot {
+                key: key.clone(),
+                value,
+                referenced: AtomicBool::new(true),
+            });
+            shard.map.insert(key, idx);
+            return;
+        }
+        // Full shard: advance the clock hand past recently-referenced
+        // slots (clearing their bit — the "second chance"), bounded to
+        // two laps so a pathological all-referenced ring still makes
+        // progress.
+        let len = shard.slots.len();
+        for _ in 0..2 * len {
+            let hand = shard.hand;
+            if shard.slots[hand].referenced.swap(false, Ordering::Relaxed) {
+                shard.hand = (hand + 1) % len;
+            } else {
+                break;
+            }
+        }
+        let victim = shard.hand;
+        let old_key = shard.slots[victim].key.clone();
+        shard.map.remove(&old_key);
+        shard.slots[victim] = Slot {
+            key: key.clone(),
+            value,
+            referenced: AtomicBool::new(true),
+        };
+        shard.map.insert(key, victim);
+        shard.hand = (victim + 1) % len;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
     }
 
     fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.read().len()).collect()
+        self.shards.iter().map(|s| s.read().map.len()).collect()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Visits every entry, shard by shard, under read locks. Order is
+    /// unspecified; snapshot writers sort afterwards.
+    fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in &self.shards {
+            let shard = s.read();
+            for slot in &shard.slots {
+                f(&slot.key, &slot.value);
+            }
+        }
     }
 
     fn clear(&self) {
         for s in &self.shards {
-            s.write().clear();
+            let mut shard = s.write();
+            shard.map.clear();
+            shard.slots.clear();
+            shard.hand = 0;
         }
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -184,6 +297,8 @@ pub struct SigCache {
     /// `None` records that no integer ∨-basis solution exists, so the
     /// failing solve is not repeated either.
     or_coeffs: ShardedMap<TruthTable, Option<Arc<Vec<i128>>>>,
+    /// The total entry budget across all maps; `None` = unbounded.
+    budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -204,16 +319,57 @@ impl std::fmt::Debug for SigCache {
 }
 
 impl SigCache {
-    /// Creates an empty cache.
+    /// Creates an empty, **unbounded** cache — the library default,
+    /// where byte-identity across a whole corpus matters more than
+    /// memory.
     pub fn new() -> SigCache {
         SigCache {
             tables: ShardedMap::new(),
             id_tables: ShardedMap::new(),
             and_coeffs: ShardedMap::new(),
             or_coeffs: ShardedMap::new(),
+            budget: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Creates an empty cache holding at most `budget` entries across
+    /// all four internal maps, evicting clock-wise (second chance)
+    /// per shard once a shard fills. `budget` is clamped to at least
+    /// `64` (4 maps × 16 shards × 1 slot); [`SigCache::len`] never
+    /// exceeds the clamped budget. Eviction can only cost recompute
+    /// time, never correctness — every cached value is a pure function
+    /// of its key, which the differential cache tests pin down.
+    pub fn with_budget(budget: usize) -> SigCache {
+        let budget = budget.max(4 * SHARDS);
+        let per_map = budget / 4;
+        let per_shard = (per_map / SHARDS).max(1);
+        let cap = Some(per_shard);
+        SigCache {
+            tables: ShardedMap::with_cap(cap),
+            id_tables: ShardedMap::with_cap(cap),
+            and_coeffs: ShardedMap::with_cap(cap),
+            or_coeffs: ShardedMap::with_cap(cap),
+            budget: Some(budget),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry budget (after clamping), or `None` for an
+    /// unbounded cache.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Entries evicted so far across all maps (always 0 when
+    /// unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.tables.evictions()
+            + self.id_tables.evictions()
+            + self.and_coeffs.evictions()
+            + self.or_coeffs.evictions()
     }
 
     fn hit(&self) {
@@ -353,7 +509,8 @@ impl SigCache {
 
     /// Copies the cache's current state into `registry` as gauges:
     /// `sig.cache.hits` / `sig.cache.misses` / `sig.cache.entries`,
-    /// plus per-shard occupancy under `sig.shard.NN.entries`. Called at
+    /// `sig.evictions` / `sig.cache.budget` (0 when unbounded), plus
+    /// per-shard occupancy under `sig.shard.NN.entries`. Called at
     /// snapshot points (stats requests, end of bench runs) rather than
     /// on the lookup hot path — the cache keeps its own atomics and
     /// this just mirrors them.
@@ -362,6 +519,10 @@ impl SigCache {
         registry.gauge("sig.cache.hits").set(stats.hits as i64);
         registry.gauge("sig.cache.misses").set(stats.misses as i64);
         registry.gauge("sig.cache.entries").set(self.len() as i64);
+        registry.gauge("sig.evictions").set(self.evictions() as i64);
+        registry
+            .gauge("sig.cache.budget")
+            .set(self.budget.unwrap_or(0) as i64);
         for (i, n) in self.shard_occupancy().into_iter().enumerate() {
             registry
                 .gauge(&format!("sig.shard.{i:02}.entries"))
@@ -378,6 +539,197 @@ impl SigCache {
         self.or_coeffs.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Serializes the cache's durable contents as one canonical JSON
+    /// line, for snapshot-to-disk and warm-start across restarts
+    /// ([`SigCache::load_snapshot`]). Canonical means byte-identical
+    /// for equal cache contents: entries are sorted, `u64` truth-table
+    /// blocks render as hex strings and `i128` coefficients as decimal
+    /// strings (the workspace JSON parser carries numbers as `f64`,
+    /// lossy above 2⁵³, so integers ride in strings).
+    ///
+    /// Only the restart-durable maps are included: expression-keyed
+    /// truth tables and both coefficient maps. Id-keyed tables are
+    /// scoped to one arena generation inside one process and can never
+    /// be valid in the next one.
+    pub fn snapshot_json(&self) -> String {
+        use mba_obs::json::json_escape;
+        fn table_fields(tt: &TruthTable) -> String {
+            let blocks: Vec<String> = tt
+                .blocks()
+                .iter()
+                .map(|b| format!("\"0x{b:x}\""))
+                .collect();
+            format!(
+                "\"num_vars\":{},\"blocks\":[{}]",
+                tt.num_vars(),
+                blocks.join(",")
+            )
+        }
+        fn coeff_list(coeffs: &[i128]) -> String {
+            let parts: Vec<String> = coeffs.iter().map(|c| format!("\"{c}\"")).collect();
+            format!("[{}]", parts.join(","))
+        }
+        let mut tables = Vec::new();
+        self.tables.for_each(|key, table| {
+            let vars: Vec<String> = key
+                .vars
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(v.as_ref())))
+                .collect();
+            tables.push(format!(
+                "{{\"expr\":\"{}\",\"vars\":[{}],{}}}",
+                json_escape(&key.expr.to_string()),
+                vars.join(","),
+                table_fields(table)
+            ));
+        });
+        let mut and_entries = Vec::new();
+        self.and_coeffs.for_each(|tt, coeffs| {
+            and_entries.push(format!(
+                "{{{},\"coeffs\":{}}}",
+                table_fields(tt),
+                coeff_list(coeffs)
+            ));
+        });
+        let mut or_entries = Vec::new();
+        self.or_coeffs.for_each(|tt, coeffs| {
+            let rendered = coeffs
+                .as_ref()
+                .map_or_else(|| "null".to_string(), |c| coeff_list(c));
+            or_entries.push(format!(
+                "{{{},\"coeffs\":{}}}",
+                table_fields(tt),
+                rendered
+            ));
+        });
+        // Rendering is injective on entries, so sorting the rendered
+        // strings sorts the entries — determinism without a custom key.
+        tables.sort();
+        and_entries.sort();
+        or_entries.sort();
+        format!(
+            "{{\"version\":1,\"tables\":[{}],\"and_coeffs\":[{}],\"or_coeffs\":[{}]}}",
+            tables.join(","),
+            and_entries.join(","),
+            or_entries.join(",")
+        )
+    }
+
+    /// Loads a [`SigCache::snapshot_json`] document, inserting every
+    /// entry it carries (idempotent; hit/miss counters are untouched).
+    /// Loading into a bounded cache goes through the normal eviction
+    /// path, so occupancy stays within budget even when the snapshot
+    /// came from a bigger cache. Returns the number of entries read.
+    ///
+    /// Snapshots are trusted local state — validation is structural
+    /// (shape, parseability, block widths), not semantic; a hand-edited
+    /// snapshot that pairs an expression with the wrong table is the
+    /// operator's own foot-gun, exactly like editing any other cache
+    /// file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents that fail to parse, carry an unknown version,
+    /// or contain structurally invalid entries.
+    pub fn load_snapshot(&self, doc: &str) -> Result<usize, String> {
+        use mba_obs::json::{parse_json, Json};
+        fn entries<'j>(
+            obj: &'j std::collections::BTreeMap<String, Json>,
+            key: &str,
+        ) -> Result<&'j [Json], String> {
+            match obj.get(key) {
+                None => Ok(&[]),
+                Some(Json::Arr(items)) => Ok(items),
+                Some(_) => Err(format!("`{key}` is not an array")),
+            }
+        }
+        fn table_of_entry(
+            obj: &std::collections::BTreeMap<String, Json>,
+        ) -> Result<TruthTable, String> {
+            let num_vars = obj
+                .get("num_vars")
+                .and_then(Json::as_u64)
+                .ok_or("entry missing `num_vars`")? as usize;
+            let blocks: Vec<u64> = match obj.get("blocks") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|b| {
+                        let s = b.as_str().ok_or("block is not a string")?;
+                        let hex = s
+                            .strip_prefix("0x")
+                            .ok_or_else(|| format!("block `{s}` missing 0x prefix"))?;
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad block `{s}`: {e}"))
+                    })
+                    .collect::<Result<_, String>>()?,
+                _ => return Err("entry missing `blocks`".into()),
+            };
+            TruthTable::from_blocks(num_vars, blocks)
+        }
+        fn coeffs_of_entry(
+            obj: &std::collections::BTreeMap<String, Json>,
+        ) -> Result<Option<Vec<i128>>, String> {
+            match obj.get("coeffs") {
+                Some(Json::Null) => Ok(None),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|c| {
+                        let s = c.as_str().ok_or("coefficient is not a string")?;
+                        s.parse::<i128>()
+                            .map_err(|e| format!("bad coefficient `{s}`: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+                    .map(Some),
+                _ => Err("entry missing `coeffs`".into()),
+            }
+        }
+        let parsed = parse_json(doc)?;
+        let obj = parsed.as_obj().ok_or("snapshot is not an object")?;
+        if obj.get("version").and_then(Json::as_u64) != Some(1) {
+            return Err("unsupported snapshot version".into());
+        }
+        let mut loaded = 0usize;
+        for entry in entries(obj, "tables")? {
+            let e = entry.as_obj().ok_or("table entry is not an object")?;
+            let expr: Expr = e
+                .get("expr")
+                .and_then(Json::as_str)
+                .ok_or("table entry missing `expr`")?
+                .parse()
+                .map_err(|err| format!("snapshot expr does not parse: {err}"))?;
+            let vars: Vec<Ident> = match e.get("vars") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(Ident::new)
+                            .ok_or_else(|| "var is not a string".to_string())
+                    })
+                    .collect::<Result<_, String>>()?,
+                _ => return Err("table entry missing `vars`".into()),
+            };
+            let table = table_of_entry(e)?;
+            self.tables
+                .insert(TableKey { expr, vars }, Arc::new(table));
+            loaded += 1;
+        }
+        for entry in entries(obj, "and_coeffs")? {
+            let e = entry.as_obj().ok_or("coeff entry is not an object")?;
+            let table = table_of_entry(e)?;
+            let coeffs = coeffs_of_entry(e)?.ok_or("and_coeffs cannot be null")?;
+            self.and_coeffs.insert(table, Arc::new(coeffs));
+            loaded += 1;
+        }
+        for entry in entries(obj, "or_coeffs")? {
+            let e = entry.as_obj().ok_or("coeff entry is not an object")?;
+            let table = table_of_entry(e)?;
+            let coeffs = coeffs_of_entry(e)?.map(Arc::new);
+            self.or_coeffs.insert(table, coeffs);
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 }
 

@@ -253,6 +253,43 @@ impl TruthTable {
         }
     }
 
+    /// The raw row blocks backing the table (row `r` in bit `r % 64` of
+    /// block `r / 64`) — the serialization counterpart of
+    /// [`TruthTable::from_blocks`].
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a table from `num_vars` and its raw row blocks — the
+    /// inverse of [`TruthTable::blocks`], used by the cache snapshot
+    /// loader. Unlike [`TruthTable::from_bits`] this covers the full
+    /// [`TruthTable::MAX_VARS`] range.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a variable count over the maximum, a block count that
+    /// does not match `2^num_vars` rows, and set bits beyond the last
+    /// row (which would break the table's `Eq`/`Hash` contract).
+    pub fn from_blocks(num_vars: usize, blocks: Vec<u64>) -> Result<TruthTable, String> {
+        if num_vars > Self::MAX_VARS {
+            return Err(format!(
+                "{num_vars} variables exceed the maximum of {}",
+                Self::MAX_VARS
+            ));
+        }
+        let rows = 1usize << num_vars;
+        if blocks.len() != rows.div_ceil(64) {
+            return Err(format!(
+                "{} blocks do not hold exactly {rows} rows",
+                blocks.len()
+            ));
+        }
+        if rows < 64 && blocks[0] >= (1u64 << rows) {
+            return Err("bits set beyond the last row".into());
+        }
+        Ok(TruthTable { num_vars, blocks })
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
@@ -478,6 +515,23 @@ mod tests {
         let dup = [Ident::new("x"), Ident::new("x")];
         let id = arena.intern(&"x".parse().unwrap());
         assert!(TruthTable::of_arena(&arena, id, &dup).is_err());
+    }
+
+    #[test]
+    fn blocks_roundtrip_through_from_blocks() {
+        // Packed (4 rows) and block (256 rows) tables both survive the
+        // serialization round-trip byte-identically.
+        let small = tt("x ^ y");
+        let again = TruthTable::from_blocks(2, small.blocks().to_vec()).unwrap();
+        assert_eq!(small, again);
+        let vars: Vec<Ident> = (0..8).map(|i| Ident::new(format!("v{i}"))).collect();
+        let wide = TruthTable::of(&"v0 ^ v7".parse().unwrap(), &vars).unwrap();
+        let again = TruthTable::from_blocks(8, wide.blocks().to_vec()).unwrap();
+        assert_eq!(wide, again);
+        // Structural validation refuses malformed inputs.
+        assert!(TruthTable::from_blocks(13, vec![0; 64]).is_err());
+        assert!(TruthTable::from_blocks(8, vec![0; 3]).is_err());
+        assert!(TruthTable::from_blocks(2, vec![0b10000]).is_err());
     }
 
     #[test]

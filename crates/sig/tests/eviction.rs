@@ -1,0 +1,173 @@
+//! Bounded-cache behaviour: occupancy stays within budget, eviction
+//! never changes simplification output, and snapshots warm-start a
+//! fresh cache across a simulated restart.
+
+use std::sync::Arc;
+
+use mba_expr::{Expr, Ident};
+use mba_sig::SigCache;
+use mba_solver::{Simplifier, SimplifyConfig};
+
+/// Distinct two-variable bitwise expressions: every `(i, op)` pair uses
+/// its own identifiers, so each one is a fresh cache key.
+fn distinct_exprs(n: usize) -> Vec<(Expr, Vec<Ident>)> {
+    let ops = ["&", "|", "^"];
+    (0..n)
+        .map(|i| {
+            let (a, b) = (format!("a{i}"), format!("b{i}"));
+            let op = ops[i % ops.len()];
+            let e: Expr = format!("{a} {op} ~{b}").parse().unwrap();
+            (e, vec![Ident::new(a), Ident::new(b)])
+        })
+        .collect()
+}
+
+#[test]
+fn occupancy_never_exceeds_budget() {
+    let budget = 64; // the clamp floor: 4 maps × 16 shards × 1 slot
+    let cache = SigCache::with_budget(budget);
+    assert_eq!(cache.budget(), Some(budget));
+    for (e, vars) in distinct_exprs(500) {
+        let tt = cache.table_of(&e, &vars).unwrap();
+        cache.and_coefficients(&tt);
+        cache.or_coefficients(&tt);
+        assert!(
+            cache.len() <= budget,
+            "occupancy {} exceeded budget {budget}",
+            cache.len()
+        );
+    }
+    assert!(
+        cache.evictions() > 0,
+        "500 distinct keys into a 64-entry cache must evict"
+    );
+    // Shard occupancy mirrors the same bound.
+    let total: usize = cache.shard_occupancy().into_iter().sum();
+    assert_eq!(total, cache.len());
+}
+
+#[test]
+fn unbounded_cache_never_evicts() {
+    let cache = SigCache::new();
+    assert_eq!(cache.budget(), None);
+    for (e, vars) in distinct_exprs(200) {
+        cache.table_of(&e, &vars).unwrap();
+    }
+    assert_eq!(cache.evictions(), 0);
+    assert!(cache.len() >= 200);
+}
+
+#[test]
+fn evicted_entries_recompute_identically() {
+    // Thrash a tiny cache, then re-query the earliest keys: they were
+    // evicted, and the recomputed tables must be byte-identical to the
+    // originals.
+    let cache = SigCache::with_budget(64);
+    let exprs = distinct_exprs(300);
+    let originals: Vec<_> = exprs
+        .iter()
+        .map(|(e, vars)| (*cache.table_of(e, vars).unwrap()).clone())
+        .collect();
+    for ((e, vars), original) in exprs.iter().zip(&originals) {
+        let again = cache.table_of(e, vars).unwrap();
+        assert_eq!(*again, *original);
+    }
+}
+
+#[test]
+fn simplification_is_byte_identical_under_eviction() {
+    // The load-bearing invariant: a thrashing bounded cache, a roomy
+    // bounded cache, and the unbounded default must all produce the
+    // same simplified output for the same input.
+    let inputs = [
+        "(x ^ y) + 2*(x & y)",
+        "(x | y) + (x & y)",
+        "x - (x & ~y) - (x & y)",
+        "(x & y) * 3 + (x ^ y) - (x | y)",
+    ];
+    let outputs: Vec<Vec<String>> = [
+        Arc::new(SigCache::with_budget(64)),
+        Arc::new(SigCache::with_budget(4096)),
+        Arc::new(SigCache::new()),
+    ]
+    .into_iter()
+    .map(|cache| {
+        let s = Simplifier::with_cache(SimplifyConfig::default(), cache);
+        inputs
+            .iter()
+            .map(|src| {
+                let e: Expr = src.parse().unwrap();
+                // Twice per input so the second pass exercises hits
+                // (or re-misses after eviction) on every tier.
+                let first = s.simplify(&e).to_string();
+                assert_eq!(first, s.simplify(&e).to_string());
+                first
+            })
+            .collect()
+    })
+    .collect();
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+#[test]
+fn snapshot_roundtrip_is_canonical_and_warm_starts() {
+    let vars = vec![Ident::new("x"), Ident::new("y")];
+    let cache = SigCache::with_budget(1024);
+    for src in ["x & y", "x | ~y", "x ^ y", "~x & ~y"] {
+        let e: Expr = src.parse().unwrap();
+        let tt = cache.table_of(&e, &vars).unwrap();
+        cache.and_coefficients(&tt);
+        cache.or_coefficients(&tt);
+    }
+    let snapshot = cache.snapshot_json();
+
+    // Canonical: a restored cache snapshots to the same bytes.
+    let restored = SigCache::with_budget(1024);
+    let loaded = restored.load_snapshot(&snapshot).unwrap();
+    assert!(loaded > 0);
+    assert_eq!(restored.snapshot_json(), snapshot);
+    // Loading counts no lookups.
+    assert_eq!(restored.stats().lookups(), 0);
+
+    // Warm start: the queries that were misses on the cold cache are
+    // hits on the restored one.
+    for src in ["x & y", "x | ~y", "x ^ y", "~x & ~y"] {
+        let e: Expr = src.parse().unwrap();
+        let cold = cache.table_of(&e, &vars).unwrap();
+        let warm = restored.table_of(&e, &vars).unwrap();
+        assert_eq!(*cold, *warm);
+    }
+    let stats = restored.stats();
+    assert_eq!(stats.misses, 0, "warm-started lookups must all hit");
+    assert_eq!(stats.hits, 4);
+}
+
+#[test]
+fn snapshot_into_smaller_budget_respects_the_smaller_budget() {
+    let big = SigCache::new();
+    for (e, vars) in distinct_exprs(300) {
+        big.table_of(&e, &vars).unwrap();
+    }
+    let snapshot = big.snapshot_json();
+    let small = SigCache::with_budget(64);
+    small.load_snapshot(&snapshot).unwrap();
+    assert!(small.len() <= 64, "load must go through eviction");
+}
+
+#[test]
+fn snapshot_rejects_malformed_documents() {
+    let cache = SigCache::new();
+    for bad in [
+        "",
+        "[]",
+        "{\"version\":2}",
+        "{\"version\":1,\"tables\":7}",
+        "{\"version\":1,\"tables\":[{\"expr\":\"x +\",\"vars\":[\"x\"],\"num_vars\":1,\"blocks\":[\"0x2\"]}]}",
+        "{\"version\":1,\"tables\":[{\"expr\":\"x\",\"vars\":[\"x\"],\"num_vars\":1,\"blocks\":[\"2\"]}]}",
+        "{\"version\":1,\"and_coeffs\":[{\"num_vars\":1,\"blocks\":[\"0x2\"],\"coeffs\":null}]}",
+    ] {
+        assert!(cache.load_snapshot(bad).is_err(), "`{bad}` should not load");
+    }
+    assert!(cache.is_empty() || cache.len() <= 1);
+}
