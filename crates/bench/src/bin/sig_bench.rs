@@ -42,16 +42,29 @@
 //! (synthesis off) for which the synthesis tier found a strictly
 //! smaller equivalent.
 //!
+//! A BDD section sweeps `t = 8..=16` independently of `--max-vars`:
+//! per `t` it times the ROBDD canonicalization route (Expr → BDD →
+//! Expr, [`mba_bdd::canonicalize`]) in truth-table-equivalent rows/sec
+//! (`tNN_bdd_rows_per_s` — `2^t` rows per call), demonstrating the
+//! column that keeps going after the `2^t`-row tiers stop at `t = 12`.
+//! The `bdd.{nodes,apply_hits,canonicalizations}` counter deltas land
+//! in the report and, via [`mba_bdd::publish_bdd_metrics`], in the obs
+//! registry.
+//!
 //! The binary exits non-zero if the engine counters report zero tape
 //! compiles — i.e. if the bit-parallel path silently stopped being
 //! exercised — if the simplifier pass records a zero fast-path hit
 //! rate, if the arena records zero interning hits, if the wide
 //! candidate evaluator fails to beat the narrow interpreter by 2x, if
-//! the synthesis pass records no accepted substitution, or if the
-//! residual recovery rate falls below 30%.
+//! the synthesis pass records no accepted substitution, if the
+//! residual recovery rate falls below 30%, if the BDD sweep records
+//! zero canonicalizations, or if the BDD column fails to post a
+//! positive finite rate at `t = 12` (the last size the truth-table
+//! tiers can still reach).
 
 use std::time::Instant;
 
+use mba_bdd::{bdd_stats, publish_bdd_metrics};
 use mba_bench::report::BenchReport;
 use mba_expr::{BinOp, EvalProgram, Expr, ExprArena, Ident, UnOp, WIDE_LANES};
 use mba_gen::{Corpus, CorpusConfig};
@@ -246,7 +259,7 @@ fn main() {
     let bench_arena = ExprArena::new();
     let bench_cache = SigCache::new();
     for t in 2..=config.max_vars {
-        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i}"))).collect();
+        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i:02}"))).collect();
         let e = bench_expr(&vars);
         let rows = 1usize << t;
 
@@ -306,6 +319,71 @@ fn main() {
         report.push_int(&format!("t{t:02}_instrs_per_task"), instrs_per_task);
     }
 
+    // ── BDD canonicalization sweep ──────────────────────────────────
+    //
+    // Independent of `--max-vars`: the point of this column is exactly
+    // that it keeps going where the `2^t`-row tiers stop. Per `t` one
+    // canonicalization call covers the whole `2^t`-row semantic space,
+    // so calls/s × 2^t is directly comparable to the truth-table
+    // rows/s columns above — and for `t ≤ 12` both columns exist side
+    // by side in the same report.
+    println!("\nBDD canonicalization: Expr -> ROBDD -> Expr, t = 8..=16");
+    println!(
+        "{:<6} {:>12} {:>16} {:>16}",
+        "vars", "rows", "bdd rows/s", "table rows/s"
+    );
+    let bdd_before = bdd_stats();
+    let mut t12_bdd_rows_per_s = f64::NAN;
+    for t in 8..=16usize {
+        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i:02}"))).collect();
+        let e = bench_expr(&vars);
+        let rows = 1usize << t;
+
+        // The route must be exact before it is worth timing: at table
+        // reach, Expr → BDD → Expr and the truth table must agree. The
+        // bench chain's *diagram* stays linear in `t` but its rendered
+        // expression does not, so the sweep raises the render budget
+        // past the pipeline tier's conservative default.
+        let canonicalize = |e: &Expr| {
+            mba_bdd::canonicalize_limited(e, mba_bdd::DEFAULT_NODE_LIMIT, 1 << 16)
+        };
+        let rendered = canonicalize(&e).expect("bench expression is pure bitwise");
+        if t <= 12 {
+            let table = TruthTable::of(&e, &vars).expect("pure bitwise");
+            let rendered_table = TruthTable::of(&rendered, &vars).expect("render is pure bitwise");
+            assert_eq!(table, rendered_table, "BDD round-trip diverges at t={t}");
+        }
+
+        let iters = config.repeats * 8;
+        let bdd_calls = calls_per_second(iters, || {
+            canonicalize(&e).expect("pure bitwise")
+        });
+        let bdd_rows = bdd_calls * rows as f64;
+        if t == 12 {
+            t12_bdd_rows_per_s = bdd_rows;
+        }
+        report.push_float(&format!("t{t:02}_bdd_rows_per_s"), bdd_rows);
+        if t <= 12 {
+            let table_iters = config.repeats * (4096 / rows).max(1);
+            let table_rows = rows_per_second(rows, table_iters, || {
+                TruthTable::of(&e, &vars).expect("pure bitwise")
+            });
+            println!("{t:<6} {rows:>12} {bdd_rows:>16.0} {table_rows:>16.0}");
+        } else {
+            // Past the cap the table column has nothing to post — the
+            // BDD column is the only one still standing.
+            println!("{t:<6} {rows:>12} {bdd_rows:>16.0} {:>16}", "-");
+        }
+    }
+    let bdd_delta = bdd_stats().since(&bdd_before);
+    println!(
+        "bdd: {} nodes interned, {} apply hits, {} canonicalizations",
+        bdd_delta.nodes, bdd_delta.apply_hits, bdd_delta.canonicalizations
+    );
+    report.push_int("bdd_nodes", bdd_delta.nodes);
+    report.push_int("bdd_apply_hits", bdd_delta.apply_hits);
+    report.push_int("bdd_canonicalizations", bdd_delta.canonicalizations);
+
     // SiMBA route comparison: corner recovery (2^t evaluations +
     // Möbius) vs the classic basis solve (a 2^t × 2^t rational linear
     // system over the full ∧-basis). Both must recover the same
@@ -323,7 +401,7 @@ fn main() {
     const MAX_BASIS_SOLVE_VARS: usize = 8;
     let mut linear_corpus = Vec::new();
     for t in 2..=config.max_vars {
-        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i}"))).collect();
+        let vars: Vec<Ident> = (0..t).map(|i| Ident::new(format!("v{i:02}"))).collect();
         let e = bench_linear_expr(&vars);
 
         let sig = SignatureVector::of_linear(&e, &vars).expect("linear by construction");
@@ -575,6 +653,7 @@ fn main() {
     publish_eval_engine_metrics(&registry);
     publish_arena_metrics(simplifier.arena(), &registry);
     publish_synth_metrics(&registry);
+    publish_bdd_metrics(&registry);
     let snapshot = registry.snapshot();
     let tape_compiles = snapshot.gauge("eval.tape_compiles");
     let bit_rows = snapshot.gauge("eval.bitparallel.rows");
@@ -618,6 +697,17 @@ fn main() {
             "synthesis recovered only {recovered}/{unreduced} residual cases \
              ({:.0}%, need 30%)",
             100.0 * recovery_rate
+        );
+        std::process::exit(1);
+    }
+    if bdd_delta.canonicalizations < 1 {
+        eprintln!("BDD sweep recorded zero canonicalizations: ROBDD route not exercised");
+        std::process::exit(1);
+    }
+    if !t12_bdd_rows_per_s.is_finite() || t12_bdd_rows_per_s <= 0.0 {
+        eprintln!(
+            "t12 BDD rate is not a positive finite number ({t12_bdd_rows_per_s}): \
+             the BDD column must still be standing where the truth-table tiers stop"
         );
         std::process::exit(1);
     }

@@ -50,4 +50,5 @@ pub use mba_sig::CacheStats;
 pub use poly::Poly;
 pub use simplifier::{
     Basis, InjectedBug, Simplified, Simplifier, SimplifyConfig, SimplifyResult, SimplifyTier,
+    TierSkipped,
 };

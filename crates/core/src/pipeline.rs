@@ -11,12 +11,18 @@ use mba_expr::{BinOp, EvalProgram, Expr, ExprArena, Ident, MbaClass, NodeId, UnO
 use mba_sig::{cache, simba, SignatureVector, TruthTable};
 
 use crate::poly::Poly;
-use crate::simplifier::{Basis, InjectedBug, Simplifier};
+use crate::simplifier::{Basis, InjectedBug, RoundFlags, Simplifier};
 
 /// Work cap for the semi-linear tier: one corner sweep of `2^t` lanes
 /// per constant-pattern group, at most this many lanes total before
 /// falling back to the opaque-abstraction slow path.
 const SEMI_WORK_CAP: usize = 1 << 16;
+
+/// Variable cap for the BDD canonicalization tier. Beyond the truth
+/// table's 12 but bounded: diagram size is what actually gates the tier
+/// (the node budget), this only keeps the sorted-variable order and the
+/// worst-case build cost predictable.
+const BDD_TIER_MAX_VARS: usize = 24;
 
 /// One lowering pass over a single expression. Collects the temporaries
 /// it abstracts so the driver can substitute them back.
@@ -35,6 +41,12 @@ pub(crate) struct Pipeline<'a> {
     temp_map: HashMap<Expr, Ident>,
     /// Set when a polynomial blow-up forced a bail-out.
     pub(crate) bailed: bool,
+    /// Set when the BDD tier canonicalized some subterm (directly or in
+    /// a nested canonical/round probe).
+    pub(crate) used_bdd: bool,
+    /// Set when a pure-bitwise subterm was too wide for every
+    /// canonicalization tier and was kept opaque.
+    pub(crate) skipped_too_many_vars: bool,
 }
 
 impl<'a> Pipeline<'a> {
@@ -46,6 +58,8 @@ impl<'a> Pipeline<'a> {
             temps: Vec::new(),
             temp_map: HashMap::new(),
             bailed: false,
+            used_bdd: false,
+            skipped_too_many_vars: false,
         }
     }
 
@@ -53,6 +67,17 @@ impl<'a> Pipeline<'a> {
     /// temporaries back. `None` means the pass bailed out (monomial cap)
     /// and the caller should keep the input.
     pub(crate) fn run(&mut self, e: &Expr) -> Option<Expr> {
+        // Constant fast fold: a variable-free input needs no tiering at
+        // all — evaluate and render the symmetric residue directly,
+        // byte-identical to what the full lowering produces for it.
+        // Sits ahead of the fast path's attempt counter, so constants
+        // no longer count as (guaranteed-futile) SiMBA attempts.
+        if self.forbidden.is_empty() {
+            let value = e.eval(&mba_expr::Valuation::new(), self.width());
+            return Some(
+                Poly::constant(self.signed_residue(value), self.width()).to_expr(),
+            );
+        }
         // Tiered lowering: the SiMBA-style corner fast path for linear
         // inputs, then the grouped-corner semi-linear tier, then the
         // general recursive lowering. The fast paths feed the same
@@ -78,6 +103,26 @@ impl<'a> Pipeline<'a> {
 
     fn width(&self) -> u32 {
         self.simplifier.config().width
+    }
+
+    /// Reinterprets a masked `width`-bit evaluation result as the
+    /// symmetric residue ([`Poly`]'s coefficient domain), so e.g. the
+    /// all-ones value renders as `-1`, not `2^width - 1`.
+    fn signed_residue(&self, value: u64) -> i128 {
+        if self.width() == 64 {
+            value as i64 as i128
+        } else if value >= 1u64 << (self.width() - 1) {
+            value as i128 - (1i128 << self.width())
+        } else {
+            value as i128
+        }
+    }
+
+    /// Folds a nested probe's tier flags into this pipeline's (see
+    /// `RoundFlags::absorb_nested` — `bailed` stays separate).
+    fn absorb(&mut self, flags: RoundFlags) {
+        self.used_bdd |= flags.used_bdd;
+        self.skipped_too_many_vars |= flags.skipped_too_many_vars;
     }
 
     /// The SiMBA-style fast path (Xu et al.; arXiv 2209.06335): for a
@@ -335,19 +380,11 @@ impl<'a> Pipeline<'a> {
         if vars.is_empty() {
             // Constant-only bitwise tree, e.g. ~0: evaluate directly.
             let value = skeleton.eval(&mba_expr::Valuation::new(), self.width());
-            // Interpret as the symmetric residue so -1 stays -1.
-            let signed = if self.width() == 64 {
-                value as i64 as i128
-            } else if value >= 1u64 << (self.width() - 1) {
-                value as i128 - (1i128 << self.width())
-            } else {
-                value as i128
-            };
-            return Some(Poly::constant(signed, self.width()));
+            return Some(Poly::constant(self.signed_residue(value), self.width()));
         }
         if vars.len() > TruthTable::MAX_VARS {
-            // Too wide for a truth table: keep the subtree opaque.
-            return Some(Poly::atom(skeleton, self.width()));
+            // Too wide for a truth table: the BDD tier, then opaque.
+            return Some(self.wide_bitwise(skeleton));
         }
         // Truth-table extraction (the 2^t evaluation sweep) and the
         // basis re-expression below both memoize through the shared
@@ -389,19 +426,14 @@ impl<'a> Pipeline<'a> {
             // Constant-only bitwise tree, e.g. ~0: evaluate directly.
             let skeleton = arena.extract(skel);
             let value = skeleton.eval(&mba_expr::Valuation::new(), self.width());
-            // Interpret as the symmetric residue so -1 stays -1.
-            let signed = if self.width() == 64 {
-                value as i64 as i128
-            } else if value >= 1u64 << (self.width() - 1) {
-                value as i128 - (1i128 << self.width())
-            } else {
-                value as i128
-            };
-            return Some(Poly::constant(signed, self.width()));
+            return Some(Poly::constant(self.signed_residue(value), self.width()));
         }
         if vars.len() > TruthTable::MAX_VARS {
-            // Too wide for a truth table: keep the subtree opaque.
-            return Some(Poly::atom(arena.extract(skel), self.width()));
+            // Too wide for a truth table: the BDD tier, then opaque.
+            // Extraction is the same expression the tree route's
+            // skeleton builds, so both routes feed the tier — and key
+            // its diagram — identically.
+            return Some(self.wide_bitwise(arena.extract(skel)));
         }
         let table: Arc<TruthTable> = {
             let _t = simplifier.stages().signature.time();
@@ -418,6 +450,48 @@ impl<'a> Pipeline<'a> {
             }
         };
         Some(self.table_to_poly(&table, &vars))
+    }
+
+    /// A pure-bitwise skeleton with more variables than any `2^t`-row
+    /// tier can sweep: canonicalize through the ROBDD engine when the
+    /// tier is enabled and the diagram fits its budgets; otherwise
+    /// record the (previously silent) skip and keep the subtree opaque.
+    fn wide_bitwise(&mut self, skeleton: Expr) -> Poly {
+        if self.simplifier.config().use_bdd {
+            if let Some(rendered) = self.bdd_canonicalize(&skeleton) {
+                self.used_bdd = true;
+                // A semantically constant skeleton renders as 0 / -1.
+                if let Some(c) = rendered.as_literal() {
+                    return Poly::constant(c, self.width());
+                }
+                return Poly::atom(rendered, self.width());
+            }
+        }
+        self.skipped_too_many_vars = true;
+        Poly::atom(skeleton, self.width())
+    }
+
+    /// One BDD canonicalization: build the diagram over the skeleton's
+    /// sorted variables, extract the canonical render. `None` when the
+    /// tier declines (too many variables, node budget exceeded, or the
+    /// canonical render would blow past the size budget — diagram
+    /// sharing can unfold into a large tree).
+    fn bdd_canonicalize(&self, skeleton: &Expr) -> Option<Expr> {
+        let vars: Vec<Ident> = skeleton.vars().into_iter().collect();
+        if vars.len() > BDD_TIER_MAX_VARS {
+            return None;
+        }
+        let mut mgr = mba_bdd::BddManager::with_node_limit(mba_bdd::DEFAULT_NODE_LIMIT);
+        let mut root = mgr.build(skeleton, &vars)?;
+        if self.simplifier.config().injected_bug == Some(InjectedBug::BddComplementFlip) {
+            // The complement-flag fault site: flip the root edge between
+            // build and extraction, the observable effect of a lost
+            // complement bit during node normalization.
+            root = root.complement();
+        }
+        let rendered = mgr.extract(root, &vars, mba_bdd::DEFAULT_RENDER_LIMIT)?;
+        mba_bdd::record_canonicalization();
+        Some(rendered)
     }
 
     fn use_sig_cache(&self) -> bool {
@@ -590,7 +664,8 @@ impl<'a> Pipeline<'a> {
         // child, computed without the output-size heuristic. Two sites
         // that were obfuscated differently but denote the same
         // polynomial share one key — and therefore one temporary.
-        let key = self.simplifier.canonical_form(child, self.depth + 1);
+        let (key, key_flags) = self.simplifier.canonical_form(child, self.depth + 1);
+        self.absorb(key_flags);
         if let Some(name) = self.temp_map.get(&key) {
             return Expr::Var(name.clone());
         }
@@ -603,9 +678,10 @@ impl<'a> Pipeline<'a> {
             Expr::unary(UnOp::Neg, child.clone()),
             Expr::one(),
         );
-        let complement_key = self
+        let (complement_key, complement_flags) = self
             .simplifier
             .canonical_form(&complement_input, self.depth + 1);
+        self.absorb(complement_flags);
         if let Some(name) = self.temp_map.get(&complement_key) {
             return Expr::unary(UnOp::Not, Expr::Var(name.clone()));
         }
@@ -613,7 +689,9 @@ impl<'a> Pipeline<'a> {
         // best-scored simplification (plus the per-level FinalOptimize
         // of Algorithm 1), not the canonical render, which may be
         // larger.
-        let mut simplified = self.simplifier.simplify_round(child, self.depth + 1).0;
+        let (mut simplified, child_flags) =
+            self.simplifier.simplify_round(child, self.depth + 1);
+        self.absorb(child_flags);
         if self.simplifier.config().final_step {
             simplified = self.simplifier.final_step(&simplified);
         }

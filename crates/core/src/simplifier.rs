@@ -37,7 +37,12 @@ use crate::pipeline::Pipeline;
 /// Counters under `core.result.*` are pure functions of the simplified
 /// results (and, for `core.result.class.*`, of the *inputs*), so they
 /// are byte-identical across worker counts and cache schedules (unlike
-/// stage-span *counts*, which vary with cache hits).
+/// stage-span *counts*, which vary with cache hits). The tier-event
+/// counters (`core.result.bdd_canonicalized`,
+/// `core.result.skipped.too_many_vars`) keep that property by riding on
+/// flags threaded through the round cache: the flag is a pure function
+/// of the input, recorded once per `simplify_detailed` call, never once
+/// per (schedule-dependent) cache miss.
 #[derive(Debug)]
 pub(crate) struct StageMetrics {
     pub(crate) signature: Arc<Histogram>,
@@ -51,6 +56,8 @@ pub(crate) struct StageMetrics {
     result_rounds: Arc<Counter>,
     result_bailouts: Arc<Counter>,
     result_output_nodes: Arc<Counter>,
+    result_bdd: Arc<Counter>,
+    result_skipped_too_many_vars: Arc<Counter>,
     result_class_linear: Arc<Counter>,
     result_class_semi_linear: Arc<Counter>,
     result_class_poly: Arc<Counter>,
@@ -71,6 +78,9 @@ impl StageMetrics {
             result_rounds: registry.counter("core.result.rounds"),
             result_bailouts: registry.counter("core.result.bailouts"),
             result_output_nodes: registry.counter("core.result.output_nodes"),
+            result_bdd: registry.counter("core.result.bdd_canonicalized"),
+            result_skipped_too_many_vars: registry
+                .counter("core.result.skipped.too_many_vars"),
             result_class_linear: registry.counter("core.result.class.linear"),
             result_class_semi_linear: registry.counter("core.result.class.semi_linear"),
             result_class_poly: registry.counter("core.result.class.poly"),
@@ -151,6 +161,16 @@ pub enum InjectedBug {
     /// is set and the synthesis tier is reached; the probe re-verify it
     /// skips is the tier's whole soundness argument.
     SynthUnsoundAccept,
+    /// Flips the complement flag on the root edge of the BDD tier's
+    /// diagram *between build and extraction*, so the canonicalized
+    /// subterm comes back as its bitwise complement — exactly the
+    /// corruption a broken complement-edge invariant (a lost or doubled
+    /// flag during `mk_node` normalization) would produce. Fires only
+    /// when [`SimplifyConfig::use_bdd`] is set and a pure-bitwise
+    /// subterm beyond `TruthTable::MAX_VARS` reaches the tier, so the
+    /// fuzzer needs a high-variable-count case stream to catch it; the
+    /// `use_bdd:false` differential path is immune by construction.
+    BddComplementFlip,
 }
 
 /// Tuning knobs for the simplifier. [`SimplifyConfig::default`] matches
@@ -196,6 +216,18 @@ pub struct SimplifyConfig {
     /// are byte-identical whenever the tier rejects
     /// (`tests/synth_differential.rs` holds this pinned).
     pub use_synthesis: bool,
+    /// Enable the BDD canonicalization tier (`mba-bdd`): pure-bitwise
+    /// subterms with more than `TruthTable::MAX_VARS` variables — too
+    /// wide for any `2^t`-row tier — are canonicalized through a
+    /// hash-consed ROBDD and rendered back via Shannon extraction,
+    /// instead of being kept opaque. The tier only ever replaces a
+    /// subterm by an exactly equivalent canonical form; when it
+    /// declines (non-bitwise construct, diagram or render blow-up) the
+    /// pipeline records an explicit [`TierSkipped::TooManyVars`] and
+    /// keeps the subterm opaque as before. Off restores the pre-BDD
+    /// behaviour byte-identically (`Simplified::used_bdd` reports
+    /// whether the tier influenced a result).
+    pub use_bdd: bool,
     /// Largest candidate node count the synthesis tier enumerates.
     pub synth_max_nodes: usize,
     /// Synthesis enumeration cap (per variable-set pool, checked per
@@ -222,6 +254,7 @@ impl Default for SimplifyConfig {
             use_simba: true,
             use_arena: true,
             use_synthesis: true,
+            use_bdd: true,
             synth_max_nodes: 5,
             synth_max_candidates: 20_000,
             synth_budget_ms: 1000,
@@ -269,6 +302,56 @@ impl std::fmt::Display for SimplifyTier {
     }
 }
 
+/// Why a canonicalization tier declined a subterm — an *explicit*
+/// record of what used to be a silent fall-through, surfaced on
+/// [`Simplified::skipped`] and counted under
+/// `core.result.skipped.too_many_vars`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierSkipped {
+    /// A pure-bitwise subterm had more variables than every available
+    /// canonicalization tier supports (beyond `TruthTable::MAX_VARS`
+    /// and, when the BDD tier is enabled, beyond its own variable or
+    /// node budget too), so it was kept as an opaque atom.
+    TooManyVars,
+}
+
+impl std::fmt::Display for TierSkipped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TierSkipped::TooManyVars => "too-many-vars",
+        })
+    }
+}
+
+/// Flags threaded through the round/canonical caches alongside each
+/// result. Each entry's flags are a pure function of its key (like the
+/// result itself), so counters derived from them stay byte-identical
+/// across worker counts and cache schedules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RoundFlags {
+    /// A pass hit the monomial cap and kept its input.
+    pub(crate) bailed: bool,
+    /// The BDD tier canonicalized some subterm along the way (even one
+    /// later discarded by scoring — an over-approximation is safe: the
+    /// `use_bdd:false` differential path skips byte-comparison when
+    /// set, it never falsely diverges).
+    pub(crate) used_bdd: bool,
+    /// Some pure-bitwise subterm was too wide for every
+    /// canonicalization tier and stayed opaque.
+    pub(crate) skipped_too_many_vars: bool,
+}
+
+impl RoundFlags {
+    /// Folds a nested round's tier flags in, *without* its `bailed`
+    /// bit: nested bail-outs were never reported by the rounds loop,
+    /// and widening them now would shift the pinned
+    /// `core.result.bailouts` counter.
+    pub(crate) fn absorb_nested(&mut self, nested: RoundFlags) {
+        self.used_bdd |= nested.used_bdd;
+        self.skipped_too_many_vars |= nested.skipped_too_many_vars;
+    }
+}
+
 /// The result of [`Simplifier::simplify_detailed`].
 #[derive(Debug, Clone)]
 pub struct Simplified {
@@ -279,6 +362,16 @@ pub struct Simplified {
     pub rounds: usize,
     /// Whether any pass hit the monomial cap and kept its input.
     pub bailed: bool,
+    /// Whether the BDD canonicalization tier fired anywhere while
+    /// producing this result (including on candidates later discarded
+    /// by scoring). Differential harnesses comparing against a
+    /// `use_bdd:false` run should only demand byte-identity when this
+    /// is `false`.
+    pub used_bdd: bool,
+    /// Set when some subterm was declined by every canonicalization
+    /// tier and kept opaque — previously a silent fall-through, now an
+    /// explicit, observable outcome.
+    pub skipped: Option<TierSkipped>,
     /// Metrics of the input.
     pub input_metrics: Metrics,
     /// Metrics of the output.
@@ -302,8 +395,8 @@ pub struct Simplified {
 #[derive(Debug)]
 pub struct Simplifier {
     config: SimplifyConfig,
-    cache: Mutex<HashMap<Expr, (Expr, bool)>>,
-    canonical_cache: Mutex<HashMap<Expr, Expr>>,
+    cache: Mutex<HashMap<Expr, (Expr, RoundFlags)>>,
+    canonical_cache: Mutex<HashMap<Expr, (Expr, RoundFlags)>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     /// Signature-layer memoization (truth tables and basis
@@ -487,9 +580,11 @@ impl Simplifier {
         let mut current = e.clone();
         let mut rounds = 0;
         let mut bailed = false;
+        let mut flags = RoundFlags::default();
         for _ in 0..self.config.max_rounds {
-            let (next, round_bailed) = self.simplify_round(&current, 0);
-            bailed |= round_bailed;
+            let (next, round_flags) = self.simplify_round(&current, 0);
+            bailed |= round_flags.bailed;
+            flags.absorb_nested(round_flags);
             rounds += 1;
             if next == current || score(&next) > score(&current) {
                 break;
@@ -537,9 +632,23 @@ impl Simplifier {
             self.stages.result_bailouts.inc();
         }
         self.stages.result_output_nodes.add(current.node_count() as u64);
+        // Tier-event counters: once per input, from flags that are a
+        // pure function of the input — bumping them at the (cache-
+        // schedule-dependent) tier sites instead would break the
+        // cross-jobs metrics determinism pin.
+        if flags.used_bdd {
+            self.stages.result_bdd.inc();
+        }
+        if flags.skipped_too_many_vars {
+            self.stages.result_skipped_too_many_vars.inc();
+        }
         Simplified {
             rounds,
             bailed,
+            used_bdd: flags.used_bdd,
+            skipped: flags
+                .skipped_too_many_vars
+                .then_some(TierSkipped::TooManyVars),
             input_metrics: Metrics::of(e),
             output_metrics: Metrics::of(&current),
             output: current,
@@ -704,11 +813,11 @@ impl Simplifier {
         self.cache_misses.store(0, Ordering::Relaxed);
     }
 
-    /// One lowering pass; returns `(result, bailed)`. The result is
+    /// One lowering pass; returns `(result, flags)`. The result is
     /// never worse than the input under [`score`].
-    pub(crate) fn simplify_round(&self, e: &Expr, depth: usize) -> (Expr, bool) {
+    pub(crate) fn simplify_round(&self, e: &Expr, depth: usize) -> (Expr, RoundFlags) {
         if depth > MAX_DEPTH {
-            return (e.clone(), false);
+            return (e.clone(), RoundFlags::default());
         }
         if self.config.use_cache {
             if let Some(hit) = self.cache.lock().get(e) {
@@ -722,7 +831,11 @@ impl Simplifier {
             let _t = self.stages.poly_reduce.time();
             pipeline.run(e)
         };
-        let bailed = pipeline.bailed;
+        let mut flags = RoundFlags {
+            bailed: pipeline.bailed,
+            used_bdd: pipeline.used_bdd,
+            skipped_too_many_vars: pipeline.skipped_too_many_vars,
+        };
         let mut result = e.clone();
         // Prefer the pipeline's canonical render even on score ties:
         // canonical forms make structurally-diverged but equivalent
@@ -735,16 +848,17 @@ impl Simplifier {
         }
         // Fallback: even when full expansion loses, children may still
         // simplify (§7's "intermediate results for sub-expressions").
-        let structural = self.structural_pass(e, depth);
+        let (structural, structural_flags) = self.structural_pass(e, depth);
+        flags.absorb_nested(structural_flags);
         if score(&structural) < score(&result) {
             result = structural;
         }
         if self.config.use_cache {
             self.cache
                 .lock()
-                .insert(e.clone(), (result.clone(), bailed));
+                .insert(e.clone(), (result.clone(), flags));
         }
-        (result, bailed)
+        (result, flags)
     }
 
     /// The canonical polynomial render of `e` — the pipeline's output
@@ -752,9 +866,9 @@ impl Simplifier {
     /// temporaries: syntactically different but polynomially equal
     /// subtrees share a canonical form. Falls back to `e` itself on a
     /// monomial-cap bail-out.
-    pub(crate) fn canonical_form(&self, e: &Expr, depth: usize) -> Expr {
+    pub(crate) fn canonical_form(&self, e: &Expr, depth: usize) -> (Expr, RoundFlags) {
         if depth > MAX_DEPTH {
-            return e.clone();
+            return (e.clone(), RoundFlags::default());
         }
         if let Some(hit) = self.canonical_cache.lock().get(e) {
             return hit.clone();
@@ -764,28 +878,42 @@ impl Simplifier {
             let _t = self.stages.poly_reduce.time();
             pipeline.run(e).unwrap_or_else(|| e.clone())
         };
+        // Canonical probes report tier flags (a BDD firing here changes
+        // temp-dedup keys, so the `use_bdd:false` differential must see
+        // it) but never `bailed` — callers only absorb the tier bits.
+        let flags = RoundFlags {
+            bailed: false,
+            used_bdd: pipeline.used_bdd,
+            skipped_too_many_vars: pipeline.skipped_too_many_vars,
+        };
         self.canonical_cache
             .lock()
-            .insert(e.clone(), out.clone());
-        out
+            .insert(e.clone(), (out.clone(), flags));
+        (out, flags)
     }
 
     /// Rebuilds `e` with each child simplified independently, then folds
-    /// local identities at this node.
-    fn structural_pass(&self, e: &Expr, depth: usize) -> Expr {
+    /// local identities at this node. The returned flags carry only the
+    /// children's *tier* bits (see [`RoundFlags::absorb_nested`]).
+    fn structural_pass(&self, e: &Expr, depth: usize) -> (Expr, RoundFlags) {
+        let mut flags = RoundFlags::default();
         let rebuilt = match e {
             Expr::Const(_) | Expr::Var(_) => e.clone(),
             Expr::Unary(op, a) => {
-                Expr::unary(*op, self.simplify_round(a, depth + 1).0)
+                let (a, fa) = self.simplify_round(a, depth + 1);
+                flags.absorb_nested(fa);
+                Expr::unary(*op, a)
             }
-            Expr::Binary(op, a, b) => Expr::binary(
-                *op,
-                self.simplify_round(a, depth + 1).0,
-                self.simplify_round(b, depth + 1).0,
-            ),
+            Expr::Binary(op, a, b) => {
+                let (a, fa) = self.simplify_round(a, depth + 1);
+                let (b, fb) = self.simplify_round(b, depth + 1);
+                flags.absorb_nested(fa);
+                flags.absorb_nested(fb);
+                Expr::binary(*op, a, b)
+            }
         };
         let _t = self.stages.rewrite.time();
-        crate::rewrite::peephole(rebuilt)
+        (crate::rewrite::peephole(rebuilt), flags)
     }
 
     /// Attempts to *prove* two expressions equivalent by comparing their
@@ -889,6 +1017,10 @@ fn apply_injected_bug(bug: InjectedBug, e: &Expr) -> Expr {
         // `synthesize_unchecked`, which accepts on the width-1 table
         // alone). Nothing to do at the output level.
         InjectedBug::SynthUnsoundAccept => e.clone(),
+        // Applied inside the BDD tier (`pipeline.rs` flips the root
+        // edge's complement flag between build and extraction). Nothing
+        // to do at the output level.
+        InjectedBug::BddComplementFlip => e.clone(),
     }
 }
 
@@ -1308,6 +1440,16 @@ mod tests {
             // checks, so this parity-obfuscated addition comes back as
             // the width-1 collision `x^y` (0 ≠ 6 at x=y=3).
             (InjectedBug::SynthUnsoundAccept, "x + y + ((x*(x+1)) & 1)"),
+            // BddComplementFlip complements the root edge of the BDD
+            // tier's diagram, so this 13-variable negated disjunction
+            // (too wide for any 2^t-row tier) comes back as the plain
+            // disjunction — and the flipped render scores *better* than
+            // the input, so the corruption survives the score guard
+            // (252 ≠ 3 at the probe valuation, unbound vars reading 0).
+            (
+                InjectedBug::BddComplementFlip,
+                "~(x | y | z | w | a | b | c | d | e | f | g | h | i)",
+            ),
         ] {
             let broken = Simplifier::with_config(SimplifyConfig {
                 injected_bug: Some(bug),
@@ -1392,6 +1534,38 @@ mod tests {
         // arena stayed empty.
         assert!(!on.arena().is_empty(), "arena-on run never interned");
         assert_eq!(off.arena().len(), 0, "arena-off run interned");
+    }
+
+    /// At or below the truth-table variable cap the BDD tier never
+    /// fires, so turning it off must not change a single output byte —
+    /// and the result reports neither a BDD firing nor a skip.
+    #[test]
+    fn bdd_off_is_byte_identical() {
+        let on = Simplifier::new();
+        let off = Simplifier::with_config(SimplifyConfig {
+            use_bdd: false,
+            ..SimplifyConfig::default()
+        });
+        for src in [
+            "2*(x|y) - (~x&y) - (x&~y)",
+            "(x^y) + 2*(x|~y) + 2",
+            "x + 2*y + (x&y) - 3*(x^y) + 4",
+            "(x & 240) + (x & ~240)",
+            "x*y + 2*(x&y)",
+            "((x&~y) - (~x&y) | z) + ((x&~y) - (~x&y) & z)",
+            "(a&b&c&d&e&f) + (a|b) - (a|b)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let d_on = on.simplify_detailed(&e);
+            let d_off = off.simplify_detailed(&e);
+            assert!(!d_on.used_bdd, "BDD fired below the cap for `{src}`");
+            assert!(d_on.skipped.is_none(), "spurious skip for `{src}`");
+            assert_eq!(
+                d_on.output.to_string(),
+                d_off.output.to_string(),
+                "BDD toggle changed output bytes for `{src}`"
+            );
+        }
     }
 
     /// Semi-linear identities from the worked examples (arXiv
@@ -1566,16 +1740,17 @@ mod tests {
 
     #[test]
     fn six_variable_linear_mba() {
-        // Signature machinery supports up to 6 variables.
+        // Comfortably inside the truth-table tier's 12-variable cap.
         let e: Expr = "(a&b&c&d&e&f) + (a|b) - (a|b)".parse().unwrap();
         assert_eq!(Simplifier::new().simplify(&e).to_string(), "a&b&c&d&e&f");
     }
 
     #[test]
-    fn seven_variable_bitwise_kept_opaque() {
+    fn seven_variable_bitwise_folds_additive_noise() {
+        // Seven variables still fit the truth-table tier (cap 12): the
+        // `+ 0` folds away and the conjunction itself survives exactly.
         let e: Expr = "(a&b&c&d&e&f&g) + 0".parse().unwrap();
         let out = Simplifier::new().simplify(&e);
-        // Too wide for a truth table: must survive untouched (modulo +0).
         let v: Valuation = ["a", "b", "c", "d", "e", "f", "g"]
             .iter()
             .map(|n| (mba_expr::Ident::new(*n), u64::MAX))

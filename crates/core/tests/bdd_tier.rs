@@ -1,0 +1,117 @@
+//! The BDD canonicalization tier and the explicit too-many-vars skip.
+//!
+//! Below `TruthTable::MAX_VARS` the tier must be invisible (same bytes
+//! with it on or off, no flags, no counters). Above the cap it must
+//! either canonicalize through the ROBDD engine (`use_bdd: true`) or
+//! record an explicit [`TierSkipped::TooManyVars`] instead of the old
+//! silent fall-through (`use_bdd: false`).
+
+use std::sync::Arc;
+
+use mba_expr::{Expr, Ident, Valuation};
+use mba_obs::MetricsRegistry;
+use mba_sig::SigCache;
+use mba_solver::{Simplifier, SimplifyConfig, TierSkipped};
+
+fn with_registry(config: SimplifyConfig) -> (Simplifier, Arc<MetricsRegistry>) {
+    let obs = Arc::new(MetricsRegistry::new());
+    let s = Simplifier::with_metrics(config, Arc::new(SigCache::new()), Arc::clone(&obs));
+    (s, obs)
+}
+
+/// Nine variables sit inside the truth-table tier: the output is pinned
+/// byte-identically with the BDD tier on and off, no flag fires, and
+/// neither tier-event counter moves.
+#[test]
+fn nine_variable_output_is_pinned_and_bdd_free() {
+    let src = "(a&b&c&d&e&f&g&h&i) + (a|b) - (a|b)";
+    let e: Expr = src.parse().unwrap();
+    let (on, obs_on) = with_registry(SimplifyConfig::default());
+    let (off, obs_off) = with_registry(SimplifyConfig {
+        use_bdd: false,
+        ..SimplifyConfig::default()
+    });
+    let d_on = on.simplify_detailed(&e);
+    let d_off = off.simplify_detailed(&e);
+    assert_eq!(d_on.output.to_string(), "a&b&c&d&e&f&g&h&i");
+    assert_eq!(
+        d_on.output.to_string(),
+        d_off.output.to_string(),
+        "BDD toggle changed bytes at t=9"
+    );
+    assert!(!d_on.used_bdd);
+    assert!(d_on.skipped.is_none());
+    assert!(d_off.skipped.is_none());
+    for obs in [&obs_on, &obs_off] {
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("core.result.bdd_canonicalized"), 0);
+        assert_eq!(snap.counter("core.result.skipped.too_many_vars"), 0);
+    }
+}
+
+/// Thirteen variables exceed every `2^t`-row tier. With the BDD tier on
+/// the redundant conjunction collapses to its canonical disjunction;
+/// with it off the input survives untouched and the skip is explicit.
+#[test]
+fn thirteen_variable_bitwise_canonicalizes_through_bdd() {
+    let chain = "(a|b|c|d|e|f|g|h|i|j|k|l|m)";
+    let e: Expr = format!("{chain} & {chain}").parse().unwrap();
+    let vars: Vec<Ident> = e.vars().into_iter().collect();
+    assert_eq!(vars.len(), 13);
+
+    let (on, obs) = with_registry(SimplifyConfig::default());
+    let d = on.simplify_detailed(&e);
+    assert!(d.used_bdd, "BDD tier never fired at t=13");
+    // The diagram dedups the two identical disjuncts: 13 vars, 12 ors.
+    assert_eq!(d.output.node_count(), 25, "got `{}`", d.output);
+    assert_eq!(d.output.vars(), e.vars());
+    // Semantics preserved: all-zeros, all-ones, and a single-bit probe.
+    for (bits, want) in [(0u64, 0u64), (u64::MAX, u64::MAX)] {
+        let v: Valuation = vars.iter().map(|n| (n.clone(), bits)).collect();
+        assert_eq!(d.output.eval(&v, 64), want);
+    }
+    let one_hot: Valuation = vars
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), u64::from(i == 7)))
+        .collect();
+    assert_eq!(d.output.eval(&one_hot, 64), 1);
+    let snap = obs.snapshot();
+    assert!(snap.counter("core.result.bdd_canonicalized") >= 1);
+    assert_eq!(snap.counter("core.result.skipped.too_many_vars"), 0);
+
+    let (off, obs_off) = with_registry(SimplifyConfig {
+        use_bdd: false,
+        ..SimplifyConfig::default()
+    });
+    let d_off = off.simplify_detailed(&e);
+    // The pre-BDD behaviour, now observable: the structural peephole
+    // still folds the idempotent `X & X`, but the wide chain itself
+    // passes through opaque — with an explicit skip record.
+    assert_eq!(d_off.output.to_string(), "a|b|c|d|e|f|g|h|i|j|k|l|m");
+    assert_eq!(d_off.skipped, Some(TierSkipped::TooManyVars));
+    assert!(!d_off.used_bdd);
+    let snap_off = obs_off.snapshot();
+    assert_eq!(snap_off.counter("core.result.bdd_canonicalized"), 0);
+    assert!(snap_off.counter("core.result.skipped.too_many_vars") >= 1);
+}
+
+/// The skip is also recorded when the tier is *on* but declines — here
+/// because the skeleton has more variables than the tier's own cap.
+#[test]
+fn beyond_bdd_cap_records_skip_with_tier_on() {
+    let names: Vec<String> = (0..25).map(|i| format!("v{i:02}")).collect();
+    let chain = names.join(" | ");
+    let e: Expr = format!("({chain}) & ({chain})").parse().unwrap();
+    assert_eq!(e.vars().len(), 25);
+    let (s, obs) = with_registry(SimplifyConfig::default());
+    let d = s.simplify_detailed(&e);
+    // The 25-variable skeleton itself is declined and recorded as a
+    // skip; sub-chains at ≤ 24 variables are still in range, so the
+    // result legitimately reports both a skip *and* a BDD firing.
+    assert_eq!(d.skipped, Some(TierSkipped::TooManyVars));
+    assert!(d.used_bdd, "sub-cap subterms should still canonicalize");
+    // Peephole-folded to one chain, the chain itself opaque.
+    assert_eq!(d.output.to_string(), names.join("|"));
+    assert!(obs.snapshot().counter("core.result.skipped.too_many_vars") >= 1);
+}

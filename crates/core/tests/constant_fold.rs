@@ -1,0 +1,31 @@
+//! The constant fast fold: variable-free inputs evaluate directly,
+//! ahead of the SiMBA fast path's attempt counter — a constant is not a
+//! (guaranteed-futile) corner-recovery attempt. Lives in its own test
+//! binary because the simba counters are process-global and any
+//! concurrently running simplify would race the zero-delta assertion.
+
+use mba_sig::simba;
+use mba_solver::Simplifier;
+
+#[test]
+fn constants_fold_without_a_simba_attempt() {
+    let before = simba::simba_stats();
+    let s = Simplifier::new();
+    for (src, want) in [
+        ("5", "5"),
+        ("2 + 3", "5"),
+        ("~0", "-1"),
+        ("0 - 9", "-9"),
+        ("2*3 + 1", "7"),
+        ("~0 & ~0", "-1"),
+        ("(1 | 2) + (4 ^ 1)", "8"),
+    ] {
+        let out = s.simplify(&src.parse().unwrap());
+        assert_eq!(out.to_string(), want, "`{src}`");
+    }
+    let delta = simba::simba_stats().since(&before);
+    assert_eq!(
+        delta.attempts, 0,
+        "constant inputs must not count as fast-path attempts: {delta:?}"
+    );
+}

@@ -759,6 +759,7 @@ impl Solver {
         let mut restart_count: u64 = 0;
         let mut conflicts_since_restart: u64 = 0;
         let mut next_reduce: u64 = self.stats.conflicts + 2000;
+        let mut next_timeout_props: u64 = self.stats.propagations + 4096;
 
         if self.propagate().is_some() {
             self.ok = false;
@@ -780,9 +781,19 @@ impl Solver {
                 || self
                     .propagation_budget
                     .is_some_and(|b| self.stats.propagations >= b)
-                || self
-                    .timeout
-                    .is_some_and(|t| self.stats.conflicts.is_multiple_of(64) && start.elapsed() >= t)
+                || self.timeout.is_some_and(|t| {
+                    // The clock is polled on conflict multiples *and*
+                    // every ~4096 propagations: a unit-propagation-heavy
+                    // instance can sit between conflicts indefinitely,
+                    // and the conflict gate alone would never look at
+                    // the clock again.
+                    let due = self.stats.conflicts.is_multiple_of(64)
+                        || self.stats.propagations >= next_timeout_props;
+                    if self.stats.propagations >= next_timeout_props {
+                        next_timeout_props = self.stats.propagations + 4096;
+                    }
+                    due && start.elapsed() >= t
+                })
             {
                 self.cancel_until(0);
                 return SolveResult::Unknown;

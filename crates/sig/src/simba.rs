@@ -190,6 +190,13 @@ pub fn corner_values_program(
     if t == 0 || t > TruthTable::MAX_VARS || width == 0 || width > 64 {
         return None;
     }
+    // The binary searches below require sorted order; on an unsorted
+    // slice they would *mostly* miss (None) but can also land on a
+    // wrong slot and silently build the wrong column. Decline
+    // explicitly instead.
+    if !vars.is_sorted() {
+        return None;
+    }
     let lanes = 1usize << t;
     // Column for variable `j`: all-ones on exactly the lanes whose row
     // index has bit `t−1−j` set (first variable = MSB of the row

@@ -44,15 +44,20 @@ impl fmt::Display for Counterexample {
 /// Resource limits for one budgeted equivalence query
 /// ([`SmtSolver::check_equivalence_budgeted`]).
 ///
-/// Both limits are optional and independent; whichever is exhausted
+/// All limits are optional and independent; whichever is exhausted
 /// first turns the verdict into [`CheckOutcome::Timeout`]. The conflict
-/// budget is deterministic (the same query with the same budget always
-/// stops at the same point), which is what oracle stacks and CI want;
-/// the wall-clock limit is the safety net for pathological blow-ups.
+/// and propagation budgets are deterministic (the same query with the
+/// same budget always stops at the same point), which is what oracle
+/// stacks and CI want; the wall-clock limit is the safety net for
+/// pathological blow-ups. The propagation budget exists because a
+/// unit-propagation-heavy miter can burn arbitrary time *between*
+/// conflicts, which a conflict budget alone never observes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MiterBudget {
     /// Maximum SAT conflicts before giving up.
     pub conflicts: Option<u64>,
+    /// Maximum SAT unit propagations before giving up.
+    pub propagations: Option<u64>,
     /// Maximum wall-clock time before giving up.
     pub timeout: Option<Duration>,
 }
@@ -67,8 +72,23 @@ impl MiterBudget {
     pub fn conflicts(conflicts: u64) -> MiterBudget {
         MiterBudget {
             conflicts: Some(conflicts),
-            timeout: None,
+            ..MiterBudget::default()
         }
+    }
+
+    /// A deterministic propagation-bounded budget.
+    pub fn propagations(propagations: u64) -> MiterBudget {
+        MiterBudget {
+            propagations: Some(propagations),
+            ..MiterBudget::default()
+        }
+    }
+
+    /// Adds a propagation bound to the budget.
+    #[must_use]
+    pub fn with_propagations(mut self, propagations: u64) -> MiterBudget {
+        self.propagations = Some(propagations);
+        self
     }
 
     /// Adds a wall-clock bound to the budget.
@@ -129,6 +149,7 @@ fn accumulate(into: &mut SolverStats, from: SolverStats) {
 pub struct SmtSolver {
     profile: SolverProfile,
     conflict_budget: Option<u64>,
+    propagation_budget: Option<u64>,
 }
 
 impl SmtSolver {
@@ -137,6 +158,7 @@ impl SmtSolver {
         SmtSolver {
             profile,
             conflict_budget: None,
+            propagation_budget: None,
         }
     }
 
@@ -149,6 +171,13 @@ impl SmtSolver {
     /// a deterministic stand-in for wall-clock timeouts in tests.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Additionally bounds every query to `propagations` SAT unit
+    /// propagations — the deterministic cap that stops
+    /// propagation-heavy miters a conflict budget never sees.
+    pub fn set_propagation_budget(&mut self, propagations: Option<u64>) {
+        self.propagation_budget = propagations;
     }
 
     /// [`SmtSolver::check_equivalence`] under an explicit per-query
@@ -182,6 +211,7 @@ impl SmtSolver {
     ) -> CheckResult {
         let mut bounded = self.clone();
         bounded.conflict_budget = budget.conflicts.or(self.conflict_budget);
+        bounded.propagation_budget = budget.propagations.or(self.propagation_budget);
         bounded.check_equivalence(lhs, rhs, width, budget.timeout)
     }
 
@@ -238,6 +268,7 @@ impl SmtSolver {
             .sat
             .set_timeout(timeout.map(|t| t.saturating_sub(start.elapsed())));
         blaster.sat.set_conflict_budget(self.conflict_budget);
+        blaster.sat.set_propagation_budget(self.propagation_budget);
         let lb = blaster.blast(l);
         let rb = blaster.blast(r);
         blaster.assert_not_equal(&lb, &rb);
@@ -284,6 +315,7 @@ impl SmtSolver {
                 .sat
                 .set_timeout(timeout.map(|t| t.saturating_sub(start.elapsed())));
             blaster.sat.set_conflict_budget(self.conflict_budget);
+            blaster.sat.set_propagation_budget(self.propagation_budget);
             let lb = blaster.blast(l);
             let rb = blaster.blast(r);
             let result = match blaster.assert_bit_diff(&lb, &rb, bit) {
@@ -405,6 +437,39 @@ mod tests {
         let rhs: Expr = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().unwrap();
         let r = s.check_equivalence(&lhs, &rhs, 8, None);
         assert_eq!(r.outcome, CheckOutcome::Timeout);
+    }
+
+    #[test]
+    fn propagation_budget_of_one_times_out_deterministically() {
+        // The Figure 1 miter cannot reach a verdict within a single
+        // unit propagation, so a `propagations(1)` budget must stop the
+        // search — deterministically, on every run — exactly like the
+        // conflict budget does. This is the cap that bounds
+        // propagation-heavy miters a conflict budget never observes.
+        let lhs: Expr = "x*y".parse().unwrap();
+        let rhs: Expr = "(x&~y)*(~x&y) + (x&y)*(x|y)".parse().unwrap();
+        for _ in 0..3 {
+            let r = solver().check_equivalence_budgeted(
+                &lhs,
+                &rhs,
+                8,
+                &MiterBudget::propagations(1),
+            );
+            assert_eq!(r.outcome, CheckOutcome::Timeout);
+            assert!(r.sat_stats.propagations <= 2, "budget overrun");
+        }
+    }
+
+    #[test]
+    fn budgeted_query_with_propagation_headroom_still_finishes() {
+        // A generous propagation budget must not change the verdict.
+        let r = solver().check_equivalence_budgeted(
+            &"x ^ y".parse().unwrap(),
+            &"(x | y) - (x & y)".parse().unwrap(),
+            8,
+            &MiterBudget::propagations(1 << 20),
+        );
+        assert_eq!(r.outcome, CheckOutcome::Equivalent);
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   categories. These exercise exactly the paper's workload, and the
 //!   known ground truth gives the harness a free extra oracle: the
 //!   simplified output must also agree with the target.
+//! * **Wide-bitwise cases** — a pure-bitwise chain over 13–16
+//!   variables, inflated with semantics-preserving redundancy
+//!   (idempotence, absorption, double negation). These sit past the
+//!   truth-table tiers' variable cap, so they are the only stream
+//!   traffic that reaches the BDD canonicalization tier and the BDD
+//!   equivalence-oracle tier; structural random ASTs at default
+//!   settings essentially never do.
 //!
 //! Every case is a pure function of `(seed, index)` — the worker that
 //! happens to pick up iteration `i` has no influence on what case `i`
@@ -38,6 +45,9 @@ pub enum CaseKind {
     /// Residual obfuscation of a known target: parity opaque zeros the
     /// algebraic pipeline cannot cancel, exercising the synthesis tier.
     Residual,
+    /// Redundancy-inflated pure-bitwise chain over 13–16 variables,
+    /// past the truth-table caps: exercises the BDD tiers.
+    WideBitwise,
 }
 
 impl std::fmt::Display for CaseKind {
@@ -49,6 +59,7 @@ impl std::fmt::Display for CaseKind {
             CaseKind::Polynomial => "poly",
             CaseKind::NonPolynomial => "non-poly",
             CaseKind::Residual => "residual",
+            CaseKind::WideBitwise => "wide-bitwise",
         })
     }
 }
@@ -64,6 +75,10 @@ pub struct CaseConfig {
     /// Maximum depth of obfuscation ground truths (kept small so the
     /// obfuscated result stays within oracle reach).
     pub target_depth: usize,
+    /// Fraction of cases built as wide (13–16 variable) redundant
+    /// pure-bitwise chains, the only stream traffic past the
+    /// truth-table tiers' variable cap.
+    pub wide_bitwise_fraction: f64,
 }
 
 impl Default for CaseConfig {
@@ -72,6 +87,7 @@ impl Default for CaseConfig {
             random: RandomExprConfig::default(),
             obfuscated_fraction: 0.4,
             target_depth: 2,
+            wide_bitwise_fraction: 0.05,
         }
     }
 }
@@ -101,9 +117,62 @@ pub fn case_rng(seed: u64, index: u64) -> StdRng {
     StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
+/// Builds a wide-bitwise case: a pure-bitwise chain over `t ∈ 13..=16`
+/// variables *in variable order* (so its BDD stays a bounded-width
+/// band regardless of `t`), optionally complemented, then inflated
+/// with semantics-preserving redundancy. The pre-inflation chain is
+/// the ground truth.
+fn wide_bitwise_case(rng: &mut StdRng) -> (Expr, Expr) {
+    use mba_expr::{BinOp, UnOp};
+    let t = rng.gen_range(13..=16usize);
+    let names: Vec<String> = (0..t).map(|i| ((b'a' + i as u8) as char).to_string()).collect();
+    let mut base = Expr::var(names[0].as_str());
+    for name in &names[1..] {
+        let op = match rng.gen_range(0..3) {
+            0 => BinOp::And,
+            1 => BinOp::Or,
+            _ => BinOp::Xor,
+        };
+        base = Expr::binary(op, base, Expr::var(name.as_str()));
+    }
+    if rng.gen_bool(0.5) {
+        base = Expr::unary(UnOp::Not, base);
+    }
+    let target = base.clone();
+    let mut e = base;
+    for _ in 0..rng.gen_range(2..=4) {
+        if e.node_count() > 96 {
+            break;
+        }
+        e = match rng.gen_range(0..5) {
+            0 => Expr::binary(BinOp::And, e.clone(), e),
+            1 => Expr::binary(BinOp::Or, e.clone(), e),
+            2 => Expr::unary(UnOp::Not, Expr::unary(UnOp::Not, e)),
+            3 => {
+                let v = Expr::var(names[rng.gen_range(0..t)].as_str());
+                Expr::binary(BinOp::Or, e.clone(), Expr::binary(BinOp::And, e, v))
+            }
+            _ => {
+                let v = Expr::var(names[rng.gen_range(0..t)].as_str());
+                Expr::binary(BinOp::And, e.clone(), Expr::binary(BinOp::Or, e, v))
+            }
+        };
+    }
+    (e, target)
+}
+
 /// Generates case `index` of the stream rooted at `seed`.
 pub fn generate_case(seed: u64, index: u64, config: &CaseConfig) -> FuzzCase {
     let mut rng = case_rng(seed, index);
+    if rng.gen_bool(config.wide_bitwise_fraction.clamp(0.0, 1.0)) {
+        let (expr, target) = wide_bitwise_case(&mut rng);
+        return FuzzCase {
+            index,
+            kind: CaseKind::WideBitwise,
+            expr,
+            target: Some(target),
+        };
+    }
     if rng.gen_bool(config.obfuscated_fraction.clamp(0.0, 1.0)) {
         let kind = match index % 5 {
             0 => ObfuscationKind::Linear,
@@ -179,6 +248,7 @@ mod tests {
     fn obfuscated_cases_carry_a_faithful_ground_truth() {
         let config = CaseConfig {
             obfuscated_fraction: 1.0,
+            wide_bitwise_fraction: 0.0,
             ..CaseConfig::default()
         };
         let mut seen_kinds = std::collections::BTreeSet::new();
@@ -212,12 +282,49 @@ mod tests {
     fn random_ast_cases_have_no_target() {
         let config = CaseConfig {
             obfuscated_fraction: 0.0,
+            wide_bitwise_fraction: 0.0,
             ..CaseConfig::default()
         };
         for i in 0..16 {
             let case = generate_case(5, i, &config);
             assert_eq!(case.kind, CaseKind::RandomAst);
             assert!(case.target.is_none());
+        }
+    }
+
+    #[test]
+    fn wide_bitwise_cases_are_wide_redundant_and_faithful() {
+        let config = CaseConfig {
+            wide_bitwise_fraction: 1.0,
+            ..CaseConfig::default()
+        };
+        for i in 0..32 {
+            let case = generate_case(3, i, &config);
+            assert_eq!(case.kind, CaseKind::WideBitwise);
+            let target = case.target.expect("wide case has a target");
+            let nvars = case.expr.vars().len();
+            assert!(
+                (13..=16).contains(&nvars),
+                "case {i} has {nvars} vars: `{}`",
+                case.expr
+            );
+            assert_eq!(case.expr.vars(), target.vars());
+            assert!(
+                case.expr.node_count() > target.node_count(),
+                "case {i} carries no redundancy"
+            );
+            let mut rng = case_rng(77, i);
+            for _ in 0..16 {
+                let v: Valuation = case
+                    .expr
+                    .vars()
+                    .into_iter()
+                    .map(|x| (x, rng.gen()))
+                    .collect();
+                for width in [8, 64] {
+                    assert_eq!(case.expr.eval(&v, width), target.eval(&v, width));
+                }
+            }
         }
     }
 }

@@ -4,7 +4,8 @@
 //! `(seed, index)`), runs it through the simplifier's entry points —
 //! the shared cache-on path, a cache-off path, the batch path, and
 //! (when no bug is injected) a fast-path-off path, an arena-off path,
-//! and a synthesis-off path — and then interrogates the results:
+//! a synthesis-off path, and a BDD-off path — and then interrogates
+//! the results:
 //!
 //! * all outputs must be **byte-identical** (the PR-1 invariant:
 //!   caching, scheduling, the simba fast path, and the hash-consed
@@ -57,6 +58,11 @@ pub enum SimplifyPath {
     /// (the comparison is skipped when the cached result's tier is
     /// `Synthesis`, where divergence is the point).
     NoSynth,
+    /// Configuration with `use_bdd: false` — pinning the BDD
+    /// canonicalization tier's contract that results it never touched
+    /// are byte-identical (the comparison is skipped when the cached
+    /// result reports `used_bdd`, where divergence is the point).
+    NoBdd,
 }
 
 impl std::fmt::Display for SimplifyPath {
@@ -68,6 +74,7 @@ impl std::fmt::Display for SimplifyPath {
             SimplifyPath::NoSimba => "nosimba",
             SimplifyPath::NoArena => "noarena",
             SimplifyPath::NoSynth => "nosynth",
+            SimplifyPath::NoBdd => "nobdd",
         })
     }
 }
@@ -216,6 +223,7 @@ pub struct Fuzzer {
     nosimba: Simplifier,
     noarena: Simplifier,
     nosynth: Simplifier,
+    nobdd: Simplifier,
 }
 
 /// Salt separating the oracle's RNG stream from the generator's, so
@@ -272,6 +280,15 @@ impl Fuzzer {
             Arc::new(SigCache::new()),
             Arc::clone(&obs),
         );
+        let nobdd = Simplifier::with_metrics(
+            SimplifyConfig {
+                use_bdd: false,
+                use_cache: true,
+                ..config.simplify.clone()
+            },
+            Arc::new(SigCache::new()),
+            Arc::clone(&obs),
+        );
         let oracle = EquivalenceOracle::new(config.oracle.clone());
         Fuzzer {
             config,
@@ -281,6 +298,7 @@ impl Fuzzer {
             nosimba,
             noarena,
             nosynth,
+            nobdd,
         }
     }
 
@@ -410,7 +428,8 @@ impl Fuzzer {
         stats: &mut OracleStats,
     ) -> CaseOutcome {
         let cached = self.cached.simplify_detailed(&case.expr);
-        let (cached_out, cached_tier) = (cached.output, cached.tier);
+        let (cached_out, cached_tier, cached_used_bdd) =
+            (cached.output, cached.tier, cached.used_bdd);
         let uncached_out = self.uncached.simplify_detailed(&case.expr).output;
         let mut rng = self.oracle_rng(case.index);
 
@@ -464,6 +483,18 @@ impl Fuzzer {
                 DiscrepancyKind::PathDivergence {
                     left: SimplifyPath::Cached,
                     right: SimplifyPath::NoSynth,
+                },
+            ))
+        } else if self.check_nobdd()
+            && !cached_used_bdd
+            && cached_out != self.nobdd.simplify_detailed(&case.expr).output
+        {
+            Some((
+                case.clone(),
+                cached_out.clone(),
+                DiscrepancyKind::PathDivergence {
+                    left: SimplifyPath::Cached,
+                    right: SimplifyPath::NoBdd,
                 },
             ))
         } else {
@@ -535,6 +566,17 @@ impl Fuzzer {
         self.config.simplify.injected_bug.is_none() && self.config.simplify.use_synthesis
     }
 
+    /// Whether the BDD-off comparison runs. Same reasoning as
+    /// [`Fuzzer::check_nosimba`]: `BddComplementFlip` corrupts only
+    /// the BDD route by design. The caller additionally skips the
+    /// comparison when the cached result reports `used_bdd` — a fired
+    /// canonicalization is *supposed* to differ from the BDD-off
+    /// output (and is held to the equivalence oracle instead); only an
+    /// untouched result must be byte-invisible.
+    fn check_nobdd(&self) -> bool {
+        self.config.simplify.injected_bug.is_none() && self.config.simplify.use_bdd
+    }
+
     /// Per-case oracle RNG, decorrelated from the generator stream.
     fn oracle_rng(&self, index: u64) -> StdRng {
         case_rng(self.config.seed ^ ORACLE_SALT, index)
@@ -565,6 +607,7 @@ impl Fuzzer {
                 let with_nosimba = self.check_nosimba();
                 let with_noarena = self.check_noarena();
                 let with_nosynth = self.check_nosynth();
+                let with_nobdd = self.check_nobdd();
                 Box::new(move |e: &Expr| {
                     // Fresh cache-on instance per probe so stale cache
                     // state cannot mask (or fake) the divergence.
@@ -602,13 +645,23 @@ impl Fuzzer {
                             return true;
                         }
                     }
-                    with_nosynth && detailed.tier != mba_solver::SimplifyTier::Synthesis && {
+                    if with_nosynth && detailed.tier != mba_solver::SimplifyTier::Synthesis {
                         let nosynth = Simplifier::with_config(SimplifyConfig {
                             use_synthesis: false,
                             use_cache: true,
                             ..simplify.clone()
                         });
-                        nosynth.simplify_detailed(e).output != a
+                        if nosynth.simplify_detailed(e).output != a {
+                            return true;
+                        }
+                    }
+                    with_nobdd && !detailed.used_bdd && {
+                        let nobdd = Simplifier::with_config(SimplifyConfig {
+                            use_bdd: false,
+                            use_cache: true,
+                            ..simplify.clone()
+                        });
+                        nobdd.simplify_detailed(e).output != a
                     }
                 })
             }

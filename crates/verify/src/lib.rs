@@ -54,5 +54,6 @@ pub use harness::{
 };
 pub use oracle::{
     EquivalenceOracle, Mismatch, OracleConfig, OracleStats, OracleTier, Verdict,
+    BDD_ORACLE_MAX_VARS,
 };
 pub use shrink::{shrink, ShrinkStats};

@@ -13,7 +13,13 @@
 //!    are compared. Equal tables are a *proof* of equivalence at every
 //!    width (the bitwise semantics is per-bit-slice); a differing row
 //!    yields a bit-uniform witness valuation.
-//! 3. **SAT miter** — the final arbiter: a budgeted
+//! 3. **BDDs** — pure-bitwise pairs *beyond* the truth-table cap (up
+//!    to [`BDD_ORACLE_MAX_VARS`] variables) are built into one shared
+//!    ROBDD manager; canonicity makes edge equality an exact proof at
+//!    every width, and unequal edges yield a bit-uniform witness from
+//!    a satisfying assignment of the XOR diagram. Declines (node
+//!    budget) fall through to the miter.
+//! 4. **SAT miter** — the final arbiter: a budgeted
 //!    [`mba_smt::SmtSolver::check_equivalence_budgeted`] query. `Unsat`
 //!    proves equivalence at the miter width; `Sat` yields a model that
 //!    is re-evaluated before being trusted (the oracle self-check —
@@ -29,6 +35,11 @@ use mba_sig::TruthTable;
 use mba_smt::{CheckOutcome, MiterBudget, SmtSolver, SolverProfile};
 use rand::Rng;
 
+/// Largest variable count the BDD oracle tier attempts. Mirrors the
+/// simplifier's BDD-tier cap: between `TruthTable::MAX_VARS + 1` and
+/// this, a pure-bitwise pair gets an exact verdict without SAT.
+pub const BDD_ORACLE_MAX_VARS: usize = 24;
+
 /// Which oracle tier produced a verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleTier {
@@ -36,6 +47,9 @@ pub enum OracleTier {
     Eval,
     /// Exact truth-table comparison (pure-bitwise expressions only).
     TruthTable,
+    /// Exact ROBDD comparison (pure-bitwise pairs beyond the
+    /// truth-table variable cap).
+    Bdd,
     /// Budgeted SAT miter through `mba-smt`.
     Miter,
 }
@@ -45,6 +59,7 @@ impl std::fmt::Display for OracleTier {
         f.write_str(match self {
             OracleTier::Eval => "eval",
             OracleTier::TruthTable => "truth-table",
+            OracleTier::Bdd => "bdd",
             OracleTier::Miter => "miter",
         })
     }
@@ -121,6 +136,12 @@ pub struct OracleStats {
     pub truth_table_proofs: u64,
     /// Mismatches found by the truth-table tier.
     pub truth_table_mismatches: u64,
+    /// BDD comparisons performed (both sides built successfully).
+    pub bdd_checks: u64,
+    /// Pairs proven equivalent by BDD edge equality.
+    pub bdd_proofs: u64,
+    /// Mismatches found by the BDD tier (with validated witnesses).
+    pub bdd_mismatches: u64,
     /// SAT miter queries issued.
     pub miters: u64,
     /// Pairs proven equivalent by the miter.
@@ -146,6 +167,9 @@ impl OracleStats {
         self.truth_tables += other.truth_tables;
         self.truth_table_proofs += other.truth_table_proofs;
         self.truth_table_mismatches += other.truth_table_mismatches;
+        self.bdd_checks += other.bdd_checks;
+        self.bdd_proofs += other.bdd_proofs;
+        self.bdd_mismatches += other.bdd_mismatches;
         self.miters += other.miters;
         self.miter_proofs += other.miter_proofs;
         self.miter_rewrite_closed += other.miter_rewrite_closed;
@@ -157,12 +181,15 @@ impl OracleStats {
 
     /// Pairs with a definitive proof of equivalence.
     pub fn proofs(&self) -> u64 {
-        self.truth_table_proofs + self.miter_proofs
+        self.truth_table_proofs + self.bdd_proofs + self.miter_proofs
     }
 
     /// All mismatches across tiers.
     pub fn mismatches(&self) -> u64 {
-        self.eval_mismatches + self.truth_table_mismatches + self.miter_mismatches
+        self.eval_mismatches
+            + self.truth_table_mismatches
+            + self.bdd_mismatches
+            + self.miter_mismatches
     }
 }
 
@@ -287,7 +314,20 @@ impl EquivalenceOracle {
             }
         }
 
-        // Tier 3: the budgeted SAT miter.
+        // Tier 3: exact BDDs for pure-bitwise pairs beyond the
+        // truth-table cap. A decline (node budget) falls through to
+        // the miter.
+        if lhs.is_pure_bitwise()
+            && rhs.is_pure_bitwise()
+            && vars.len() > TruthTable::MAX_VARS
+            && vars.len() <= BDD_ORACLE_MAX_VARS
+        {
+            if let Some(verdict) = self.bdd_tier(lhs, rhs, &vars, stats) {
+                return verdict;
+            }
+        }
+
+        // Tier 4: the budgeted SAT miter.
         if lhs.node_count() + rhs.node_count() > self.config.miter_node_limit {
             stats.miter_skipped += 1;
             return Verdict::Passed;
@@ -339,6 +379,63 @@ impl EquivalenceOracle {
                 }))
             }
         }
+    }
+
+    /// The BDD tier: builds both sides into one shared manager, where
+    /// canonicity makes edge equality exactly semantic equality at
+    /// every width. `None` means the tier declined (node budget blown
+    /// mid-build or mid-XOR) and the stack should fall through.
+    ///
+    /// # Panics
+    ///
+    /// Like the miter tier, panics if the witness extracted from the
+    /// XOR diagram does not actually separate the two sides — that is
+    /// a bug in the oracle, not in the pair under test.
+    fn bdd_tier(
+        &self,
+        lhs: &Expr,
+        rhs: &Expr,
+        vars: &[Ident],
+        stats: &mut OracleStats,
+    ) -> Option<Verdict> {
+        let mut mgr = mba_bdd::BddManager::with_node_limit(mba_bdd::DEFAULT_NODE_LIMIT);
+        let le = mgr.build(lhs, vars)?;
+        let re = mgr.build(rhs, vars)?;
+        stats.bdd_checks += 1;
+        if le == re {
+            stats.bdd_proofs += 1;
+            return Some(Verdict::Proved(OracleTier::Bdd));
+        }
+        let diff = mgr.xor(le, re)?;
+        let model = mgr
+            .satisfying_valuation(diff, vars)
+            .expect("unequal canonical edges must have a separating assignment");
+        // Bit-uniform bindings: a separating single-bit assignment
+        // separates every bit slice, so width 8 suffices (and matches
+        // the truth-table tier's witness convention).
+        let valuation: Valuation = model
+            .iter()
+            .map(|(x, bit)| (x.clone(), if *bit { u64::MAX } else { 0 }))
+            .collect();
+        let width = 8;
+        let strict = |e: &Expr| {
+            e.eval_checked(&valuation, width)
+                .unwrap_or_else(|err| panic!("BDD witness incomplete for `{e}`: {err}"))
+        };
+        let (lv, rv) = (strict(lhs), strict(rhs));
+        assert_ne!(
+            lv, rv,
+            "BDD oracle returned a bogus witness for `{lhs}` vs `{rhs}`: \
+             both sides evaluate to {lv}"
+        );
+        stats.bdd_mismatches += 1;
+        Some(Verdict::Mismatch(Box::new(Mismatch {
+            tier: OracleTier::Bdd,
+            width,
+            valuation,
+            lhs_value: lv,
+            rhs_value: rv,
+        })))
     }
 
     /// Runs only the eval tier: a cheap probabilistic refuter.
@@ -570,6 +667,43 @@ mod tests {
         assert_eq!(m.tier, OracleTier::TruthTable);
         assert_ne!(m.lhs_value, m.rhs_value);
         assert_eq!(stats.truth_table_mismatches, 1);
+    }
+
+    #[test]
+    fn bdd_tier_proves_wide_bitwise_pairs_without_sat() {
+        // 13 variables: beyond the truth-table cap, in BDD range.
+        let lhs = "~(a&b&c&d&e&f&g&h&i&j&k&l&m)";
+        let rhs = "~a|~b|~c|~d|~e|~f|~g|~h|~i|~j|~k|~l|~m";
+        let (v, stats) = check(lhs, rhs);
+        assert_eq!(v, Verdict::Proved(OracleTier::Bdd));
+        assert_eq!(stats.bdd_proofs, 1);
+        assert_eq!(stats.truth_tables, 0, "truth tables cannot reach t=13");
+        assert_eq!(stats.miters, 0, "no SAT needed for a BDD proof");
+    }
+
+    #[test]
+    fn bdd_tier_mismatch_carries_a_real_witness() {
+        // Disable the eval tier so the BDD tier must construct the
+        // witness itself (mirrors the truth-table witness test).
+        let oracle = EquivalenceOracle::new(OracleConfig {
+            widths: vec![],
+            random_valuations: 0,
+            ..OracleConfig::default()
+        });
+        let mut stats = OracleStats::default();
+        let v = oracle.check(
+            &"a&b&c&d&e&f&g&h&i&j&k&l&m".parse().unwrap(),
+            &"a|b|c|d|e|f|g|h|i|j|k|l|m".parse().unwrap(),
+            &mut StdRng::seed_from_u64(5),
+            &mut stats,
+        );
+        let Verdict::Mismatch(m) = v else {
+            panic!("expected mismatch");
+        };
+        assert_eq!(m.tier, OracleTier::Bdd);
+        assert_ne!(m.lhs_value, m.rhs_value);
+        assert_eq!(stats.bdd_mismatches, 1);
+        assert_eq!(stats.miters, 0);
     }
 
     #[test]

@@ -97,6 +97,44 @@ fn synth_unsound_accept_is_caught_and_shrinks_to_five_nodes() {
 }
 
 #[test]
+fn bdd_complement_flip_is_caught_and_shrunk() {
+    // Flips the complement bit on the ROBDD root between build and
+    // extraction — the canonical "forgot to normalize the complement
+    // edge" bug, which renders the *negation* of every canonicalized
+    // subterm. The tier only fires on pure-bitwise skeletons wider
+    // than the truth-table cap, so drive the fuzzer on the
+    // wide-bitwise stream exclusively. The corruption needs at least
+    // 13 live variables to survive the rounds-loop score guard, so
+    // the reproducer cannot shrink below a wide chain.
+    let mut config = FuzzConfig {
+        iterations: 64,
+        jobs: 2,
+        max_discrepancies: 3,
+        ..FuzzConfig::default()
+    };
+    config.simplify.injected_bug = Some(InjectedBug::BddComplementFlip);
+    config.case.wide_bitwise_fraction = 1.0;
+    let report = Fuzzer::new(config).run();
+    assert!(
+        !report.discrepancies.is_empty(),
+        "BddComplementFlip: fuzzer failed to catch the injected bug"
+    );
+    for d in &report.discrepancies {
+        assert!(
+            matches!(d.kind, DiscrepancyKind::Unsound(_)),
+            "BddComplementFlip: expected an unsoundness verdict, got {}",
+            d.kind
+        );
+        assert!(
+            d.shrunk.node_count() <= 64,
+            "reproducer `{}` has {} nodes, expected <= 64",
+            d.shrunk,
+            d.shrunk.node_count()
+        );
+    }
+}
+
+#[test]
 fn injected_bug_discrepancies_are_deterministic() {
     let a = fuzz_with_bug(InjectedBug::OffByOne);
     let b = fuzz_with_bug(InjectedBug::OffByOne);
